@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one artifact of the paper (figure, worked
+example, or query plan) and asserts its shape, then times the kernel
+with pytest-benchmark.  Run with ``-s`` to see the regenerated tables::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def report(title, lines):
+    """Print one regenerated artifact block (visible with -s)."""
+    print()
+    print("#" * 72)
+    print("# %s" % title)
+    print("#" * 72)
+    for line in lines:
+        print(line)

@@ -1,0 +1,61 @@
+"""EX3 — Example 3: cardinality constraints on has(neuron, axon).
+
+card_A(N) = (N = 1): an axon is contained in exactly one neuron;
+card_B(N) = (N <= 2): a neuron can have at most two axons.  The bench
+seeds both violations, asserts the paper's witnesses (w6=1 and w>2,
+here `w_card_neq` / `w_card_gt`), and times checking as the instance
+count grows.
+"""
+
+import pytest
+
+from conftest import report
+from repro.gcm import ConceptualModel, cardinality_constraint, check
+
+
+def build_cm(n_ok=50, violations=True):
+    cm = ConceptualModel("card")
+    cm.add_class("neuron")
+    cm.add_class("axon")
+    cm.add_relation("has", [("whole", "neuron"), ("part", "axon")])
+    for i in range(n_ok):
+        cm.add_relation_instance("has", whole="n%d" % i, part="a%d" % i)
+    if violations:
+        # n_shared has three axons; a_shared sits in two neurons
+        for axon in ("ax1", "ax2", "ax3"):
+            cm.add_relation_instance("has", whole="n_multi", part=axon)
+        cm.add_relation_instance("has", whole="n_a", part="a_shared")
+        cm.add_relation_instance("has", whole="n_b", part="a_shared")
+    return cm
+
+
+CONSTRAINTS = [
+    cardinality_constraint("has", 2, counted_position=0, exact=1),
+    cardinality_constraint("has", 2, counted_position=1, max_count=2),
+]
+
+
+def test_ex3_cardinality(benchmark):
+    clean = check(build_cm(violations=False), CONSTRAINTS)
+    assert clean.ok
+
+    violated = check(build_cm(violations=True), CONSTRAINTS)
+    kinds = violated.by_kind()
+    assert set(kinds) == {"w_card_neq", "w_card_gt"}
+    # exactly the seeded violations
+    assert [w.context for w in kinds["w_card_neq"]] == [
+        ("has", 0, "a_shared", 2)
+    ]
+    assert [w.context for w in kinds["w_card_gt"]] == [("has", 1, "n_multi", 3)]
+
+    report(
+        "EX3: cardinality ICs on has(neuron, axon)",
+        [
+            "clean data:    %s" % clean,
+            "seeded data:   %d witnesses" % len(violated),
+        ]
+        + ["  %s" % w for w in violated],
+    )
+
+    cm = build_cm(n_ok=200, violations=True)
+    benchmark(lambda: check(cm, CONSTRAINTS))

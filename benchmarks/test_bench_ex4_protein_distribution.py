@@ -1,0 +1,84 @@
+"""EX4 — Example 4: the protein_distribution integrated view.
+
+"The result for the computation for P="cerebellum", Z="rat", and
+Y="Ryanodine Receptor" can be seen in the system snapshot" — this
+bench computes exactly that view instance: the per-region distribution
+of Ryanodine Receptor amounts below Cerebellum for rat, via
+has_a_star + the recursive `aggregate`.  Shape assertions encode the
+generator's known biology (dendritic RyR dominates somatic RyR) and
+the rollup invariant (root total = sum of anchored direct values).
+"""
+
+import pytest
+
+from conftest import report
+from repro.neuro import build_scenario
+
+
+@pytest.fixture(scope="module")
+def mediator():
+    return build_scenario(seed=2001).mediator
+
+
+def test_ex4_protein_distribution(benchmark, mediator):
+    distribution = mediator.compute_distribution(
+        "Cerebellum",
+        "amount",
+        group_attr="protein_name",
+        group_value="Ryanodine Receptor",
+        filters={"organism": "rat"},
+    )
+
+    # regions with direct anchored values
+    dendrite = distribution.row("Purkinje_Dendrite")
+    soma = distribution.row("Purkinje_Soma")
+    spine = distribution.row("Purkinje_Spine")
+    assert dendrite.direct is not None
+    assert soma.direct is not None
+    assert spine.direct is not None
+    # known biology encoded in the generator: RyR is dendritic
+    assert dendrite.direct > soma.direct
+
+    # rollup invariant: the root total equals the sum of every anchored
+    # direct value below it (each object counted exactly once)
+    total = distribution.total()
+    assert total == pytest.approx(
+        sum(row.direct for row in distribution.rows if row.direct is not None)
+    )
+    # intermediate region: cell total covers its parts
+    cell = distribution.row("Purkinje_Cell")
+    assert cell.cumulative == pytest.approx(total)
+    assert dendrite.cumulative == pytest.approx(
+        dendrite.direct + spine.cumulative
+    )
+
+    # the view instance is queryable at the conceptual level
+    mediator.materialize_distribution(
+        "protein_distribution",
+        "Ryanodine Receptor",
+        "Cerebellum",
+        filters={"organism": "rat"},
+        extra={"animal": "rat"},
+    )
+    rows = mediator.ask(
+        "D : protein_distribution[protein_name -> 'Ryanodine Receptor'; "
+        "animal -> rat; distribution_root -> R]"
+    )
+    assert rows and rows[0]["R"] == "Cerebellum"
+    region_rows = mediator.ask("dist_row(D, C, Direct, Cum)")
+    assert len(region_rows) >= 3
+
+    report(
+        "EX4: protein_distribution(P=Cerebellum, Z=rat, Y=Ryanodine Receptor)",
+        [str(distribution)],
+    )
+
+    benchmark(
+        lambda: mediator.compute_distribution(
+            "Cerebellum",
+            "amount",
+            group_attr="protein_name",
+            group_value="Ryanodine Receptor",
+            filters={"organism": "rat"},
+        )
+    )

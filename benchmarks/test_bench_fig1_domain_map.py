@@ -1,0 +1,88 @@
+"""FIG1 — regenerate the Figure 1 domain map from Example 1's DL axioms.
+
+The paper's Figure 1 draws the SYNAPSE + NCMIR knowledge: this bench
+rebuilds the map from the eleven DL statements, checks every drawn edge
+kind is present with the expected multiplicity, emits the edge listing
+and DOT, and times construction + the Section 4 closures.
+"""
+
+import pytest
+
+from conftest import report
+from repro.domainmap import (
+    deductive_closure,
+    edge_census,
+    has_a_star,
+    isa_closure,
+    to_dot,
+    to_text,
+)
+from repro.neuro import build_figure1
+
+#: (kind, src, role, dst) edges that MUST appear in the drawing
+EXPECTED_EDGES = [
+    ("ex", "Neuron", "has", "Compartment"),
+    ("isa", "Axon", None, "Compartment"),
+    ("isa", "Dendrite", None, "Compartment"),
+    ("isa", "Soma", None, "Compartment"),
+    ("isa", "Spiny_Neuron", None, "Neuron"),
+    ("ex", "Spiny_Neuron", "has", "Spine"),
+    ("isa", "Purkinje_Cell", None, "Spiny_Neuron"),
+    ("isa", "Pyramidal_Cell", None, "Spiny_Neuron"),
+    ("ex", "Dendrite", "has", "Branch"),
+    ("isa", "Shaft", None, "Branch"),
+    ("ex", "Shaft", "has", "Spine"),
+    ("ex", "Spine", "contains", "Ion_Binding_Protein"),
+    ("isa", "Spine", None, "Ion_Regulating_Component"),
+    ("ex", "Ion_Activity", "subprocess_of", "Neurotransmission"),
+    ("isa", "Ion_Binding_Protein", None, "Protein"),
+    ("ex", "Ion_Binding_Protein", "controls", "Ion_Activity"),
+    ("ex", "Ion_Regulating_Component", "regulates", "Ion_Activity"),
+]
+
+
+def test_fig1_regeneration(benchmark):
+    dm = build_figure1()
+
+    drawn = {(e.kind, e.src, e.role, e.dst) for e in dm.edges()}
+    missing = [edge for edge in EXPECTED_EDGES if edge not in drawn]
+    assert not missing, "Figure 1 edges missing from the drawing: %r" % missing
+
+    census = edge_census(dm)
+    assert census == {"eqv": 2, "ex": 10, "isa": 10}
+    assert len(dm.concepts) == 16
+    assert dm.roles == {
+        "has",
+        "contains",
+        "controls",
+        "regulates",
+        "subprocess_of",
+    }
+
+    # semantic consequences the paper derives from the map
+    star = has_a_star(dm, "has")
+    assert ("Purkinje_Cell", "Spine") in star
+    assert ("Pyramidal_Cell", "Spine") in star
+    closure = isa_closure(dm)
+    assert ("Purkinje_Cell", "Neuron") in closure
+
+    dot = to_dot(dm)
+    assert '"Purkinje_Cell"' in dot
+
+    report(
+        "FIG1: domain map for SYNAPSE and NCMIR (Example 1 axioms)",
+        [
+            to_text(dm),
+            "",
+            "edge census: %r" % census,
+            "has_a_star links: %d" % len(star),
+        ],
+    )
+
+    def kernel():
+        fresh = build_figure1()
+        has_a_star(fresh, "has")
+        deductive_closure(fresh, "contains")
+        return isa_closure(fresh)
+
+    benchmark(kernel)

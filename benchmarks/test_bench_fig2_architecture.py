@@ -1,0 +1,70 @@
+"""FIG2 — the model-based mediator architecture end-to-end.
+
+Figure 2 shows wrappers lifting raw sources to conceptual models and
+registering them (schemas, rules, capabilities, anchors) with the
+mediator, "all over the wire in XML".  This bench drives the whole
+path for the three KIND sources, reports the wire traffic and the
+registered schema inventory, verifies the registration messages
+round-trip losslessly, and times a full system bring-up.
+"""
+
+import pytest
+
+from conftest import report
+from repro.core import build_registration, parse_registration
+from repro.neuro import build_ncmir, build_scenario, build_senselab, build_synapse
+
+
+def test_fig2_architecture(benchmark):
+    scenario = build_scenario()
+    mediator = scenario.mediator
+
+    # every source joined through an XML registration message
+    assert len(mediator.wire_log) == 3
+    assert all(size > 500 for _name, size in mediator.wire_log)
+
+    # schema inventory after registration
+    inventory = {}
+    for source in mediator.source_names():
+        capabilities = mediator.capabilities(source)
+        inventory[source] = {
+            "classes": sorted(capabilities),
+            "patterns": sum(
+                len(c.binding_patterns) for c in capabilities.values()
+            ),
+            "templates": sum(len(c.templates) for c in capabilities.values()),
+            "anchors": mediator.index.concepts_of_source(source),
+        }
+    assert inventory["NCMIR"]["classes"] == ["protein_amount"]
+    assert inventory["SENSELAB"]["classes"] == ["neurotransmission"]
+    assert inventory["SYNAPSE"]["classes"] == ["reconstruction"]
+    assert "Purkinje_Dendrite" in inventory["NCMIR"]["anchors"]
+    assert "Pyramidal_Spine" in inventory["SYNAPSE"]["anchors"]
+
+    # wire fidelity: message -> parse -> rebuild CM -> identical classes
+    for build in (build_synapse, build_ncmir, build_senselab):
+        wrapper = build()
+        message = build_registration(wrapper, include_data=False)
+        parsed = parse_registration(message)
+        assert parsed.cm.class_names() == wrapper.schema_cm().class_names()
+        for class_name, capability in wrapper.capabilities().items():
+            rebuilt = parsed.capabilities[class_name]
+            assert rebuilt.attributes == capability.attributes
+            assert len(rebuilt.binding_patterns) == len(
+                capability.binding_patterns
+            )
+
+    lines = ["wire traffic:"]
+    for name, size in mediator.wire_log:
+        lines.append("  %-24s %7d bytes" % (name, size))
+    lines.append("")
+    lines.append("registered inventory:")
+    for source, info in sorted(inventory.items()):
+        lines.append(
+            "  %-10s classes=%s patterns=%d templates=%d"
+            % (source, info["classes"], info["patterns"], info["templates"])
+        )
+        lines.append("             anchors=%s" % info["anchors"])
+    report("FIG2: architecture bring-up (3 sources over the XML wire)", lines)
+
+    benchmark(lambda: build_scenario())

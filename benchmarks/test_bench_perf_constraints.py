@@ -1,0 +1,76 @@
+"""PERF-IC — integrity-checking cost vs. instance count.
+
+Characterizes the two-phase `ic`-witness check (Example 2/3 machinery)
+as the object base grows.  Shape expectation: near-linear growth for
+the cardinality checks (one aggregate scan) and the partial-order check
+on tree-shaped hierarchies.
+"""
+
+import time
+
+import pytest
+
+from conftest import report
+from repro.gcm import (
+    ConceptualModel,
+    cardinality_constraint,
+    check,
+    key_constraint,
+    partial_order_constraint,
+    scalar_method_constraint,
+)
+
+
+def build_cm(n):
+    cm = ConceptualModel("perf")
+    cm.add_class("neuron", methods={"label": "string"})
+    cm.add_class("axon")
+    cm.add_relation("has", [("whole", "neuron"), ("part", "axon")])
+    for i in range(n):
+        cm.add_instance("n%d" % i, "neuron")
+        cm.set_value("n%d" % i, "label", "cell-%d" % i)
+        cm.add_relation_instance("has", whole="n%d" % i, part="a%d" % i)
+    return cm
+
+
+CONSTRAINTS = [
+    cardinality_constraint("has", 2, counted_position=0, exact=1),
+    cardinality_constraint("has", 2, counted_position=1, max_count=2),
+    scalar_method_constraint("neuron", "label"),
+    key_constraint("neuron", ["label"]),
+    partial_order_constraint("subclass", "class"),
+]
+
+
+def test_ic_cost_scaling(benchmark):
+    rows = []
+    for n in (50, 100, 200):
+        cm = build_cm(n)
+        start = time.perf_counter()
+        result = check(cm, CONSTRAINTS)
+        seconds = time.perf_counter() - start
+        assert result.ok
+        rows.append((n, seconds))
+
+    # growth should be far from quadratic blowup: 4x data < ~16x time
+    assert rows[-1][1] < rows[0][1] * 16
+
+    lines = ["instances  check(s)"]
+    for n, seconds in rows:
+        lines.append("%9d  %8.4f" % (n, seconds))
+    report("PERF-IC: integrity checking vs. object-base size", lines)
+
+    cm = build_cm(100)
+    benchmark(lambda: check(cm, CONSTRAINTS))
+
+
+def test_ic_detects_seeded_violations_at_scale(benchmark):
+    cm = build_cm(100)
+    cm.add_relation_instance("has", whole="n_extra", part="a0")  # a0 shared
+    cm.set_value("n0", "label", "cell-1")  # duplicate key + non-scalar
+    result = check(cm, CONSTRAINTS)
+    kinds = set(result.by_kind())
+    assert "w_card_neq" in kinds
+    assert "w_key" in kinds
+    assert "w_scalar" in kinds
+    benchmark(lambda: check(cm, CONSTRAINTS))

@@ -1,0 +1,133 @@
+"""PERF-MED — end-to-end mediated query cost and source selection.
+
+Characterizes (a) the Section 5 correlation query as source data grows,
+and (b) the benefit of semantic-index source selection: with the index,
+the plan contacts only the sources anchored at the query's concepts;
+without it (simulated by contacting every registered source), work
+grows with the number of irrelevant sources.  Shape expectation:
+selected-source count stays constant as decoy sources are added, and
+planned-query latency is roughly flat, while the contact-everything
+baseline degrades linearly.
+"""
+
+import time
+
+import pytest
+
+from conftest import report
+from repro.core import Mediator
+from repro.neuro import build_scenario, section5_query
+from repro.sources import AnchorSpec, Column, RelStore, SourceQuery, Wrapper
+
+
+def decoy_wrapper(index):
+    """A source anchored at hippocampal concepts (irrelevant to Q5)."""
+    name = "DECOY%d" % index
+    store = RelStore(name)
+    table = store.create_table(
+        "protein_amount",
+        [
+            Column("id", "int"),
+            Column("protein", "str"),
+            Column("location", "str"),
+            Column("amount", "float"),
+        ],
+        key="id",
+    )
+    for i in range(20):
+        table.insert(
+            {
+                "id": i,
+                "protein": "Synapsin",
+                "location": "Pyramidal Cell dendrite",
+                "amount": 1.0 + i * 0.1,
+            }
+        )
+    wrapper = Wrapper(name, store)
+    wrapper.export_class(
+        "protein_amount",
+        "protein_amount",
+        "id",
+        methods={
+            "protein_name": "protein",
+            "location": "location",
+            "amount": "amount",
+        },
+        anchor=AnchorSpec(
+            column="location",
+            mapping={"Pyramidal Cell dendrite": "Pyramidal_Dendrite"},
+        ),
+        selectable={"location"},
+    )
+    return wrapper
+
+
+def contact_everything(mediator, target_class):
+    """The no-semantic-index baseline: scan every source exporting the
+    target class."""
+    rows = 0
+    for source in mediator.source_names():
+        wrapper = mediator.wrapper(source)
+        if target_class in wrapper.exports:
+            rows += len(wrapper.query(SourceQuery(target_class)))
+    return rows
+
+
+def test_source_selection_benefit(benchmark):
+    rows = []
+    for decoys in (0, 4, 8):
+        scenario = build_scenario(eager=False)
+        mediator = scenario.mediator
+        for index in range(decoys):
+            mediator.register(decoy_wrapper(index), eager=False)
+
+        start = time.perf_counter()
+        _plan, context = mediator.correlate(section5_query())
+        planned_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        scanned = contact_everything(mediator, "protein_amount")
+        scan_seconds = time.perf_counter() - start
+
+        # the semantic index keeps ignoring the decoys
+        assert context.selected_sources == ["NCMIR"]
+        rows.append((decoys, planned_seconds, scan_seconds, scanned))
+
+    # the baseline's scanned-row count grows with decoys; the plan's
+    # source set does not
+    assert rows[0][3] < rows[-1][3]
+
+    lines = [
+        "decoys  planned-q5(s)  scan-all(s)  scanned-rows  selected-sources",
+    ]
+    for decoys, planned, scan, scanned in rows:
+        lines.append(
+            "%6d  %13.4f  %11.4f  %12d  ['NCMIR']"
+            % (decoys, planned, scan, scanned)
+        )
+    report("PERF-MED: semantic-index source selection", lines)
+
+    scenario = build_scenario(eager=False)
+    query = section5_query()
+    benchmark(lambda: scenario.mediator.correlate(query))
+
+
+def test_query_cost_vs_data_scale(benchmark):
+    rows = []
+    for scale in (1, 2, 4):
+        scenario = build_scenario(scale=scale, eager=False)
+        start = time.perf_counter()
+        _plan, context = scenario.mediator.correlate(section5_query())
+        seconds = time.perf_counter() - start
+        answers = len(context.answers)
+        assert answers == 4  # the four calcium binders
+        rows.append((scale, len(context.retrieved), seconds))
+
+    lines = ["scale  retrieved-rows  q5(s)"]
+    for scale, retrieved, seconds in rows:
+        lines.append("%5d  %14d  %6.4f" % (scale, retrieved, seconds))
+    report("PERF-MED: Section 5 query vs. data scale", lines)
+
+    scenario = build_scenario(scale=2, eager=False)
+    query = section5_query()
+    benchmark(lambda: scenario.mediator.correlate(query))

@@ -1,0 +1,82 @@
+"""PERF-WFS — well-founded vs. stratified evaluation.
+
+The GCM rule language is Datalog with well-founded negation
+(Section 3).  This bench characterizes the price of the alternating-
+fixpoint fallback on win-move games (the canonical non-stratifiable
+program) vs. stratified evaluation of an equivalent-size positive
+program.  Shape expectation: WFS costs a small constant number of full
+fixpoints (its alternating iterations), so it stays within roughly an
+order of magnitude of stratified evaluation and scales with the same
+data-complexity curve.
+"""
+
+import time
+
+import pytest
+
+from conftest import report
+from repro.datalog import Const, Program, evaluate, fact, parse_program
+
+
+def chain_moves(n):
+    """A long chain a0 -> a1 -> ... (fully determined game)."""
+    program = Program()
+    for i in range(n):
+        program.add(fact("move", Const("a%d" % i), Const("a%d" % (i + 1))))
+    program.extend(parse_program("win(X) :- move(X, Y), not win(Y)."))
+    return program
+
+
+def chain_tc(n):
+    """Positive transitive closure over the same chain."""
+    program = Program()
+    for i in range(n):
+        program.add(fact("edge", Const("a%d" % i), Const("a%d" % (i + 1))))
+    program.extend(
+        parse_program("tc(X, Y) :- edge(X, Y). tc(X, Y) :- edge(X, Z), tc(Z, Y).")
+    )
+    return program
+
+
+def test_wfs_vs_stratified(benchmark):
+    rows = []
+    for n in (50, 100, 200):
+        wfs_program = chain_moves(n)
+        start = time.perf_counter()
+        wfs_result = evaluate(wfs_program)
+        wfs_seconds = time.perf_counter() - start
+        assert wfs_result.used_well_founded
+        # a determined chain: alternating positions win
+        wins = len(wfs_result.store.rows(("win", 1)))
+        assert wins == n // 2
+        assert len(wfs_result.undefined) == 0
+
+        positive = chain_tc(n)
+        start = time.perf_counter()
+        positive_result = evaluate(positive)
+        positive_seconds = time.perf_counter() - start
+        assert not positive_result.used_well_founded
+
+        rows.append((n, wfs_seconds, positive_seconds))
+
+    lines = ["chain n   WFS(s)     stratified tc(s)   ratio"]
+    for n, wfs_seconds, positive_seconds in rows:
+        lines.append(
+            "%7d  %8.4f   %16.4f   %5.1fx"
+            % (n, wfs_seconds, positive_seconds, wfs_seconds / positive_seconds)
+        )
+    report("PERF-WFS: well-founded fallback cost (win-move chains)", lines)
+
+    program = chain_moves(100)
+    benchmark(lambda: evaluate(program))
+
+
+def test_undefined_atoms_detected(benchmark):
+    # cycles leave positions undefined; WFS must report them
+    program = Program()
+    for i in range(20):
+        program.add(fact("move", Const("c%d" % i), Const("c%d" % ((i + 1) % 20))))
+    program.extend(parse_program("win(X) :- move(X, Y), not win(Y)."))
+    result = evaluate(program)
+    assert len(result.undefined.rows(("win", 1))) == 20
+    benchmark(lambda: evaluate(program))

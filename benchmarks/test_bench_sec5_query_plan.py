@@ -1,0 +1,69 @@
+"""Q5 — the Section 5 query and its four-step plan.
+
+"What is the distribution of those calcium-binding proteins that are
+found in neurons that receive signals from parallel fibers in rat
+brains?"  The paper's plan: (1) push selections (rat, parallel fiber)
+to SENSELAB and get bindings for X and Y; (2) select sources via the
+domain map — "in our case, only NCMIR is returned"; (3) push the X, Y
+locations to NCMIR and retrieve only matching proteins; (4) compute the
+lub as distribution root and aggregate along the downward closure.
+
+The bench asserts each of those outcomes and times the full planned
+query.
+"""
+
+import pytest
+
+from conftest import report
+from repro.neuro import build_scenario, section5_query
+
+
+@pytest.fixture(scope="module")
+def mediator():
+    return build_scenario(seed=2001).mediator
+
+
+def test_sec5_query_plan(benchmark, mediator):
+    plan, context = mediator.correlate(section5_query())
+
+    # the four steps (lub and aggregate shown separately)
+    assert plan.kinds == [
+        "push-selection",
+        "select-sources",
+        "retrieve",
+        "compute-lub",
+        "aggregate",
+    ]
+
+    # step 1: bindings for the neuron/compartment pair (X, Y)
+    bindings = context.bindings[("receiving_neuron", "receiving_compartment")]
+    assert bindings == [("Purkinje_Cell", "Purkinje_Dendrite")]
+
+    # step 2: "only NCMIR is returned"
+    assert context.selected_sources == ["NCMIR"]
+
+    # step 3: only proteins found at X, Y were retrieved, and the
+    # calcium filter was applied
+    assert context.retrieved
+    for source, row in context.retrieved:
+        assert source == "NCMIR"
+        assert row["ion_bound"] == "calcium"
+        assert row["location"] in ("Purkinje Cell", "Purkinje Cell dendrite")
+
+    # step 4: a reasonable root and per-protein distributions
+    assert context.root == "Purkinje_Cell"
+    proteins = [group for group, _d in context.answers]
+    assert "Ryanodine Receptor" in proteins
+    assert "Calbindin" in proteins
+    assert "GABA-A Receptor" not in proteins
+    assert "Kv1.1 Channel" not in proteins
+    for _group, distribution in context.answers:
+        assert distribution.total() is not None and distribution.total() > 0
+
+    lines = ["plan:", plan.describe(), "", "answers (protein, root total):"]
+    for group, distribution in context.answers:
+        lines.append("  %-22s %.3f" % (group, distribution.total()))
+    report("Q5: Section 5 query over the mediated system", lines)
+
+    query = section5_query()
+    benchmark(lambda: mediator.correlate(query))

@@ -1,0 +1,80 @@
+"""The KIND Neuroscience scenario end-to-end (Sections 1, 4, 5).
+
+Rebuilds the paper's prototype setting — the ANATOM domain map plus the
+SYNAPSE, NCMIR and SENSELAB sources — and walks through:
+
+* the "two worlds" correlation of Example 1 (spine morphology meets
+  protein localization at the `Spine` concept),
+* Example 4's `protein_distribution` view (recursive aggregate below
+  `Cerebellum`),
+* the Section 5 query with its four-step plan:
+  "What is the distribution of those calcium-binding proteins that are
+  found in neurons that receive signals from parallel fibers in rat
+  brains?"
+
+Run:  python examples/neuroscience_mediation.py
+"""
+
+from repro.neuro import build_scenario, section5_query
+
+
+def banner(text):
+    print("\n" + "=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main():
+    scenario = build_scenario(seed=2001)
+    mediator = scenario.mediator
+
+    banner("Registered mediated system")
+    print("sources:", mediator.source_names())
+    print("views:  ", mediator.view_names())
+    print("domain map: %d concepts, %d axioms"
+          % (len(mediator.dm.concepts), len(mediator.dm.axioms)))
+    for message, size in mediator.wire_log:
+        print("  wire: %-22s %6d bytes" % (message, size))
+
+    banner("Example 1 — multiple worlds meet at the Spine concept")
+    spine_objects = sorted(r["X"] for r in mediator.ask("X : 'Spine'"))
+    by_source = {}
+    for obj in spine_objects:
+        by_source.setdefault(obj.split(".")[0], []).append(obj)
+    for source, objects in sorted(by_source.items()):
+        print("  %-8s %4d spine-anchored objects (e.g. %s)"
+              % (source, len(objects), objects[0]))
+
+    banner("Example 4 — protein_distribution for Ryanodine Receptor, rat, "
+           "below Cerebellum")
+    distribution = mediator.compute_distribution(
+        "Cerebellum",
+        "amount",
+        group_attr="protein_name",
+        group_value="Ryanodine Receptor",
+        filters={"organism": "rat"},
+    )
+    print(distribution)
+
+    banner("Section 5 — the calcium-binding protein query")
+    plan, context = mediator.correlate(section5_query())
+    print("query plan:")
+    print(plan.describe())
+    print("\nstep 1 bindings (X, Y):",
+          context.bindings[("receiving_neuron", "receiving_compartment")])
+    print("step 2 selected sources:", context.selected_sources)
+    print("step 4 distribution root (lub):", context.root)
+    print("\nanswers (protein, distribution):")
+    for protein, dist in context.answers:
+        print("\n  %s  (total %.3f)" % (protein, dist.total()))
+        for concept, depth, direct, cumulative in dist.as_table():
+            if cumulative is None:
+                continue
+            print("    %s%-24s direct=%-8s cumulative=%.3f"
+                  % ("  " * depth, concept,
+                     ("%.3f" % direct) if direct is not None else "-",
+                     cumulative))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""The intro's contrast case: a simple "one world" scenario.
+
+The paper concedes that the standard XML-level architecture is "very
+powerful and useful in simple one world scenarios (say comparison
+shopping with amazon.com and barnesandnoble.com)" — the sources share a
+world, so a trivial domain map and a plain union view suffice.  This
+example builds exactly that, showing the same machinery degrading
+gracefully: no multi-world correlation, no lub, no aggregate traversal;
+just anchored classes and a GAV union view.
+
+Contrast with `neuroscience_mediation.py`, where the domain map does
+real work.
+
+Run:  python examples/one_world_shopping.py
+"""
+
+from repro.core import IntegratedView, Mediator
+from repro.domainmap import DomainMap
+from repro.sources import AnchorSpec, Column, RelStore, Wrapper
+
+
+def bookstore(name, rows):
+    store = RelStore(name)
+    table = store.create_table(
+        "listing",
+        [
+            Column("isbn", "str"),
+            Column("title", "str"),
+            Column("price", "float"),
+            Column("in_stock", "bool"),
+        ],
+        key="isbn",
+    )
+    table.insert_many(rows)
+    wrapper = Wrapper(name, store)
+    wrapper.export_class(
+        "listing",
+        "listing",
+        "isbn",
+        methods={
+            "isbn": "isbn",
+            "title": "title",
+            "price": "price",
+            "in_stock": "in_stock",
+        },
+        anchor=AnchorSpec(concept="Book"),  # one shared world: one concept
+        selectable={"isbn", "title"},
+    )
+    return wrapper
+
+
+AMAZON_ROWS = [
+    {"isbn": "0-13-086071-7", "title": "Foundations of Databases", "price": 89.99, "in_stock": True},
+    {"isbn": "1-55860-456-X", "title": "Principles of Data Integration", "price": 74.50, "in_stock": True},
+    {"isbn": "0-12-345678-9", "title": "Deductive Databases in Practice", "price": 45.00, "in_stock": False},
+]
+
+BN_ROWS = [
+    {"isbn": "0-13-086071-7", "title": "Foundations of Databases", "price": 82.25, "in_stock": True},
+    {"isbn": "0-12-345678-9", "title": "Deductive Databases in Practice", "price": 41.80, "in_stock": True},
+    {"isbn": "3-54-041337-0", "title": "Semantics of Logic Programs", "price": 55.00, "in_stock": True},
+]
+
+
+def main():
+    # the entire "domain knowledge" of a one-world scenario:
+    dm = DomainMap("books")
+    dm.add_concept("Book")
+
+    mediator = Mediator(dm, name="shopper")
+    mediator.register(bookstore("AMAZON", AMAZON_ROWS))
+    mediator.register(bookstore("BN", BN_ROWS))
+
+    # the union view: in-stock offers across both stores (GAV)
+    mediator.add_view(
+        IntegratedView(
+            "offer",
+            "X : offer[title -> T; price -> P] :- "
+            "X : listing[title -> T; price -> P].",
+        )
+    )
+
+    print("comparison shopping over %s" % mediator.source_names())
+    print("\nall offers:")
+    for row in mediator.ask("X : offer[title -> T; price -> P]"):
+        store = str(row["X"]).split(".")[0]
+        print("  %-34s %-7s $%6.2f" % (row["T"], store, row["P"]))
+
+    # best price per title: an FL aggregate over the union view
+    print("\nbest price per title:")
+    best = mediator.ask("B = min{P [T]; X : offer[title -> T; price -> P]}")
+    for row in best:
+        print("  %-34s $%6.2f" % (row["T"], row["B"]))
+
+    # who undercuts whom on shared titles?
+    print("\nprice gaps on shared titles:")
+    gaps = mediator.ask(
+        "X : listing[isbn -> I; price -> PA], "
+        "Y : listing[isbn -> I; price -> PB], "
+        "PA > PB, D is PA - PB"
+    )
+    seen = set()
+    for row in gaps:
+        if row["I"] in seen:
+            continue
+        seen.add(row["I"])
+        print("  isbn %-15s  gap $%5.2f" % (row["I"], row["D"]))
+
+    print(
+        "\n(no lub, no has_a_star, no multi-world plan — the paper's point:"
+        "\n one-world mediation needs none of the domain-map machinery)"
+    )
+
+
+if __name__ == "__main__":
+    main()

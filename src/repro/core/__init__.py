@@ -1,0 +1,74 @@
+"""The model-based mediator: the paper's primary contribution.
+
+Ties the stack together — domain map + semantic index, source
+registration over the XML wire, integrated view definitions, the
+recursive `aggregate` builtin, and the Section 5 correlation query
+planner.
+
+Quick use::
+
+    from repro.core import Mediator, CorrelationQuery
+    from repro.domainmap import DomainMap
+
+    mediator = Mediator(DomainMap("anatom"))
+    mediator.register(my_wrapper)
+    mediator.ask("X : 'Purkinje_Cell'")
+"""
+
+from .aggregate import (
+    AGG_FUNCS,
+    Distribution,
+    DistributionRow,
+    aggregate_over_dm,
+    direct_values_at,
+)
+from .lazy import ask_lazy, plan_fetches, referenced_class_names
+from .mediator import Mediator, RegisteredSource
+from .planner import (
+    AggregateStep,
+    ComputeLubStep,
+    CorrelationQuery,
+    PlanContext,
+    PlanStep,
+    PushSelectionStep,
+    QueryPlan,
+    RetrieveAnchoredStep,
+    SelectSourcesStep,
+    execute,
+    plan,
+)
+from .registration import (
+    ParsedRegistration,
+    build_registration,
+    parse_registration,
+)
+from .views import DistributionView, IntegratedView
+
+__all__ = [
+    "AGG_FUNCS",
+    "AggregateStep",
+    "ComputeLubStep",
+    "CorrelationQuery",
+    "Distribution",
+    "DistributionRow",
+    "DistributionView",
+    "IntegratedView",
+    "Mediator",
+    "ParsedRegistration",
+    "PlanContext",
+    "PlanStep",
+    "PushSelectionStep",
+    "QueryPlan",
+    "RegisteredSource",
+    "RetrieveAnchoredStep",
+    "SelectSourcesStep",
+    "aggregate_over_dm",
+    "ask_lazy",
+    "build_registration",
+    "direct_values_at",
+    "execute",
+    "parse_registration",
+    "plan",
+    "plan_fetches",
+    "referenced_class_names",
+]

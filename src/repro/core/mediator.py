@@ -1,0 +1,374 @@
+"""The model-based mediator (Figure 2).
+
+:class:`Mediator` ties the stack together:
+
+* it owns the **domain map** and the **semantic index**;
+* sources **register** their CM(S) — schema, semantic rules, query
+  capabilities, anchors, optional DM refinements, optionally their
+  lifted data (eager mode) — with the message crossing the XML wire
+  when ``via_xml=True``;
+* **integrated views** (F-logic rules and distribution views) are
+  defined on top;
+* queries are answered either by direct F-logic evaluation over the
+  assembled knowledge base (:meth:`ask`) or through the Section 5
+  **correlation plan** (:meth:`correlate`): push selections, select
+  sources via the semantic index, retrieve, lub + aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import MediatorError, RegistrationError
+from ..datalog.ast import Rule
+from ..domainmap.execute import compile_domain_map
+from ..domainmap.index import SemanticIndex
+from ..domainmap.model import DomainMap
+from ..domainmap.registry import register_concepts
+from ..flogic.engine import FLogicEngine
+from ..gcm.constraints import check as gcm_check
+from .aggregate import Distribution, aggregate_over_dm
+from .planner import CorrelationQuery, execute as planner_execute, plan as planner_plan
+from .registration import build_registration, parse_registration
+from .views import DistributionView, IntegratedView
+
+
+class RegisteredSource:
+    """Mediator-side record of one registered source."""
+
+    def __init__(self, wrapper, registration):
+        self.wrapper = wrapper
+        self.registration = registration
+
+    @property
+    def name(self):
+        return self.registration.source
+
+    def __repr__(self):
+        return "RegisteredSource(%r)" % self.name
+
+
+class Mediator:
+    """A model-based mediator over one domain map."""
+
+    def __init__(
+        self,
+        dm=None,
+        name="mediator",
+        edge_assertions=None,
+        dialogue_via_xml=False,
+    ):
+        self.name = name
+        self.dm = dm if dm is not None else DomainMap("%s_dm" % name)
+        self.index = SemanticIndex(self.dm)
+        self.edge_assertions = edge_assertions
+        self.dialogue_via_xml = dialogue_via_xml
+        self._sources: Dict[str, RegisteredSource] = {}
+        self._views: Dict[str, object] = {}
+        self._view_rules: List[Rule] = []
+        self._facts: List[Rule] = []
+        self._materialized: List[Rule] = []
+        self._engine: Optional[FLogicEngine] = None
+        self._wire_log: List[Tuple[str, int]] = []
+
+    # -- registration ---------------------------------------------------
+
+    def register(self, wrapper, dm_refinement=None, eager=True, via_xml=True):
+        """Register a wrapped source.
+
+        Args:
+            wrapper: the :class:`~repro.sources.Wrapper` joining.
+            dm_refinement: DL axiom text refining the domain map first
+                (Figure 3 mechanism).
+            eager: load the source's lifted instance data now; with
+                ``eager=False`` data is only fetched by query plans.
+            via_xml: round-trip the registration through the XML wire
+                format (the architecture's "everything in XML" path).
+        """
+        if wrapper.name in self._sources:
+            raise RegistrationError("source %r already registered" % wrapper.name)
+        if via_xml:
+            message = build_registration(
+                wrapper, include_data=eager, dm_refinement=dm_refinement
+            )
+            self._wire_log.append(("register:%s" % wrapper.name, len(message)))
+            registration = parse_registration(message)
+        else:
+            from .registration import ParsedRegistration
+
+            registration = ParsedRegistration(
+                wrapper.name,
+                wrapper.schema_cm(),
+                wrapper.capabilities(),
+                wrapper.anchors(),
+                dm_refinement,
+                wrapper.export_all_facts() if eager else [],
+            )
+
+        if registration.refinement:
+            register_concepts(self.dm, registration.refinement, allow_new_roles=True)
+        for class_name, concept, context in registration.anchors:
+            self.index.add_anchor(wrapper.name, class_name, concept, context)
+        record = RegisteredSource(wrapper, registration)
+        self._sources[wrapper.name] = record
+        if registration.facts:
+            self._facts.extend(registration.facts)
+        self._invalidate()
+        return registration
+
+    def deregister(self, source_name):
+        """Remove a source (anchors included).  Previously loaded facts
+        are rebuilt from the remaining sources."""
+        if source_name not in self._sources:
+            raise RegistrationError("source %r is not registered" % source_name)
+        del self._sources[source_name]
+        self.index.remove_source(source_name)
+        self._facts = []
+        for record in self._sources.values():
+            self._facts.extend(record.registration.facts)
+        self._invalidate()
+
+    def wrapper(self, source_name):
+        record = self._sources.get(source_name)
+        if record is None:
+            raise MediatorError("unknown source %r" % source_name)
+        return record.wrapper
+
+    def source_names(self):
+        return sorted(self._sources)
+
+    def capabilities(self, source_name):
+        record = self._sources.get(source_name)
+        if record is None:
+            raise MediatorError("unknown source %r" % source_name)
+        return record.registration.capabilities
+
+    @property
+    def wire_log(self):
+        """(message, size-in-bytes) pairs of XML messages exchanged."""
+        return list(self._wire_log)
+
+    def source_query(self, source_name, source_query):
+        """Send a query to a source, honouring `dialogue_via_xml`.
+
+        With the XML dialogue on, the request and answer cross the wire
+        format of :mod:`repro.xmlio.messages` (and are logged); rows
+        come back re-joined with their raw form for lifting.
+        """
+        wrapper = self.wrapper(source_name)
+        if not self.dialogue_via_xml:
+            return wrapper.query(source_query)
+        from ..xmlio.messages import handle_request, query_to_xml, rows_from_xml
+
+        request = query_to_xml(source_query)
+        answer = handle_request(wrapper, request)
+        self._wire_log.append(
+            ("query:%s.%s" % (source_name, source_query.class_name),
+             len(request) + len(answer))
+        )
+        _class_name, rows = rows_from_xml(answer)
+        # the wire drops _raw; reconstruct it for lift_rows by keying
+        # the direct rows on object id (in-process shortcut)
+        direct = {
+            row["_object"]: row for row in wrapper.query(source_query)
+        }
+        return [direct[row["_object"]] for row in rows]
+
+    # -- views ---------------------------------------------------------------
+
+    def add_view(self, view):
+        """Register an integrated view definition."""
+        if view.name in self._views:
+            raise MediatorError("view %r already defined" % view.name)
+        self._views[view.name] = view
+        if isinstance(view, IntegratedView):
+            from ..flogic.parser import parse_fl_program
+            from ..flogic.translate import Translator
+
+            translator = Translator()
+            self._view_rules.extend(
+                translator.translate_rules(parse_fl_program(view.fl_rules))
+            )
+        self._invalidate()
+        return view
+
+    def view(self, name):
+        view = self._views.get(name)
+        if view is None:
+            raise MediatorError("unknown view %r" % name)
+        return view
+
+    def view_names(self):
+        return sorted(self._views)
+
+    # -- knowledge base ----------------------------------------------------
+
+    def _invalidate(self):
+        self._engine = None
+
+    def assembled_rules(self, include_data=True):
+        """Every rule the mediator's engine runs on.
+
+        ``include_data=False`` yields the schema-and-knowledge-only
+        program (domain map, source CMs, views) without the loaded
+        instance facts — what plan execution evaluates retrieved rows
+        against, so a plan's filtering is not undone by eagerly loaded
+        data.
+        """
+        rules: List[Rule] = []
+        rules.extend(
+            compile_domain_map(self.dm, assertions_for=self.edge_assertions)
+        )
+        for record in self._sources.values():
+            rules.extend(
+                record.registration.cm.all_rules(include_constraints=False)
+            )
+        rules.extend(self._view_rules)
+        if include_data:
+            rules.extend(self._facts)
+            rules.extend(self._materialized)
+        return rules
+
+    def engine(self):
+        """The mediator's (cached) F-logic engine."""
+        if self._engine is None:
+            self._engine = FLogicEngine()
+            self._engine.tell_rules(self.assembled_rules())
+        return self._engine
+
+    def evaluate(self):
+        """Evaluate the knowledge base; returns an EvaluationResult."""
+        return self.engine().evaluate()
+
+    def evaluate_with(self, extra_facts, include_data=True):
+        """Evaluate with additional (lazily fetched) facts, without
+        mutating the mediator's knowledge base.
+
+        ``include_data=False`` evaluates the extra facts against the
+        knowledge only (domain map + schemas + views), ignoring any
+        eagerly loaded instance data.
+        """
+        engine = FLogicEngine()
+        engine.tell_rules(self.assembled_rules(include_data=include_data))
+        engine.tell_rules(list(extra_facts))
+        return engine.evaluate()
+
+    def ask(self, fl_query):
+        """Answer an F-logic query over the mediated knowledge base."""
+        return self.engine().ask(fl_query)
+
+    def ask_lazy(self, fl_query):
+        """Answer a query by fetching only the source data it
+        references (navigation-driven evaluation; see
+        :mod:`repro.core.lazy`).  Returns (answers, fetches)."""
+        from .lazy import ask_lazy
+
+        return ask_lazy(self, fl_query)
+
+    def holds(self, fl_query):
+        return bool(self.ask(fl_query))
+
+    def explain(self, fl_fact):
+        """Why does a mediated fact hold?  Returns a derivation tree
+        whose leaves are source-lifted facts, DM axioms and builtin
+        checks (see :mod:`repro.datalog.provenance`)."""
+        return self.engine().explain(fl_fact)
+
+    def check_integrity(self, constraints=(), raise_on_violation=False):
+        """Two-phase integrity check over the mediated object base."""
+        return gcm_check(
+            self.assembled_rules(),
+            constraints,
+            raise_on_violation=raise_on_violation,
+        )
+
+    # -- source selection --------------------------------------------------
+
+    def select_sources(self, concepts, target_class=None):
+        """Sources with data anchored at any of the concepts (step 2 of
+        the Section 5 plan), optionally filtered to exporters of a
+        class."""
+        sources = self.index.sources_for_any(concepts)
+        if target_class is not None:
+            sources = [
+                source
+                for source in sources
+                if target_class in self.wrapper(source).exports
+            ]
+        return sources
+
+    # -- distribution views ---------------------------------------------------
+
+    def compute_distribution(
+        self,
+        root,
+        value_attr,
+        group_attr=None,
+        group_value=None,
+        filters=None,
+        role="has",
+        func="sum",
+        store=None,
+    ):
+        """Run the recursive aggregate over the mediated object base."""
+        if store is None:
+            store = self.evaluate().store
+        return aggregate_over_dm(
+            self.dm,
+            store,
+            root,
+            value_attr,
+            role=role,
+            func=func,
+            group_attr=group_attr,
+            group_value=group_value,
+            filters=filters,
+        )
+
+    def materialize_distribution(
+        self, view_name, group_value, root, filters=None, extra=None
+    ):
+        """Materialize one instance of a :class:`DistributionView` into
+        the knowledge base; returns the :class:`Distribution`."""
+        view = self.view(view_name)
+        if not isinstance(view, DistributionView):
+            raise MediatorError("%r is not a distribution view" % view_name)
+        distribution = self.compute_distribution(
+            root,
+            view.value_attr,
+            group_attr=view.group_attr,
+            group_value=group_value,
+            filters=filters,
+            role=view.role,
+            func=view.func,
+        )
+        self._materialized.extend(
+            view.materialize_facts(group_value, root, distribution, extra)
+        )
+        self._invalidate()
+        return distribution
+
+    # -- planned queries -----------------------------------------------------
+
+    def plan(self, query):
+        """Plan a :class:`CorrelationQuery` without executing it."""
+        return planner_plan(self, query)
+
+    def correlate(self, query, skip_failed_sources=False):
+        """Plan and execute a correlation query; returns (plan, context).
+
+        ``context.answers`` holds (group value, Distribution) pairs —
+        the paper's ``answer(P, D)``.  With `skip_failed_sources`, a
+        failing source is recorded in ``context.errors`` rather than
+        aborting the plan.
+        """
+        return planner_execute(
+            self, query, skip_failed_sources=skip_failed_sources
+        )
+
+    def __repr__(self):
+        return "Mediator(%r, sources=%r, views=%r)" % (
+            self.name,
+            self.source_names(),
+            self.view_names(),
+        )

@@ -1,0 +1,414 @@
+"""Query planning: the Section 5 multiple-worlds query plan.
+
+The paper's running query — "What is the distribution of those
+calcium-binding proteins that are found in neurons that receive signals
+from parallel fibers in rat brains?" — is planned in four steps:
+
+1. **push selections** (rat, parallel fiber) to the seed source and get
+   bindings for the neuron/compartment pair (X, Y);
+2. **select sources** that have data anchored for those concepts using
+   the domain map's semantic index;
+3. **push selections** given by the X, Y locations to each selected
+   source and retrieve only the matching objects (e.g. proteins);
+4. compute the **lub** of the locations as the distribution root and
+   evaluate the distribution view via a **downward closure** along
+   `has_a_star`.
+
+:class:`CorrelationQuery` is the declarative form of such a query;
+:func:`plan` turns it into inspectable :class:`PlanStep` objects and
+:func:`execute` runs them against a mediator.  Pushes are validated
+against the sources' declared binding patterns — a selection no pattern
+covers raises :class:`~repro.errors.PlanningError` at *planning* time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import CapabilityError, PlanningError
+from ..domainmap.graphops import lub
+from ..sources.wrapper import SourceQuery
+from .aggregate import aggregate_over_dm
+
+
+class CorrelationQuery:
+    """A declarative multiple-worlds correlation query.
+
+    Args:
+        seed_class: the class the initial selections apply to (e.g.
+            ``neurotransmission``).
+        seed_selections: attribute -> value selections pushed to the
+            seed source (e.g. organism=rat).
+        anchor_attrs: attributes of seed rows whose values are DM
+            concepts — the "semantic coordinates" (X, Y) joining the
+            worlds (e.g. receiving_neuron, receiving_compartment).
+        target_class: the class to retrieve from the selected sources
+            (e.g. ``protein_amount``).
+        target_anchor_attr: the target attribute carrying the anchor
+            (e.g. ``location``): anchor concepts are translated back to
+            source vocabulary and pushed as selections.
+        target_filters: extra selections on the target class, applied
+            mediator-side when the source's binding patterns cannot
+            take them (e.g. ion_bound=calcium).
+        group_attr / value_attr: the distribution grouping and value
+            attributes (protein_name / amount).
+        role / func: the DM relation to traverse and the aggregate.
+        seed_source: optional explicit seed source name; inferred when
+            exactly one registered source exports `seed_class`.
+    """
+
+    def __init__(
+        self,
+        seed_class,
+        seed_selections,
+        anchor_attrs,
+        target_class,
+        target_anchor_attr,
+        group_attr,
+        value_attr,
+        target_filters=None,
+        role="has",
+        func="sum",
+        seed_source=None,
+    ):
+        self.seed_class = seed_class
+        self.seed_selections = dict(seed_selections)
+        self.anchor_attrs = tuple(anchor_attrs)
+        self.target_class = target_class
+        self.target_anchor_attr = target_anchor_attr
+        self.target_filters = dict(target_filters or {})
+        self.group_attr = group_attr
+        self.value_attr = value_attr
+        self.role = role
+        self.func = func
+        self.seed_source = seed_source
+
+
+class PlanStep:
+    """One step of a query plan; subclasses implement `run`."""
+
+    kind = "step"
+
+    def describe(self):
+        raise NotImplementedError
+
+    def run(self, context):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "<%s: %s>" % (self.kind, self.describe())
+
+
+class PushSelectionStep(PlanStep):
+    """Step 1/3: push bound selections to one source class."""
+
+    kind = "push-selection"
+
+    def __init__(self, source, class_name, selections, bind_attrs=()):
+        self.source = source
+        self.class_name = class_name
+        self.selections = dict(selections)
+        self.bind_attrs = tuple(bind_attrs)
+
+    def describe(self):
+        sel = ", ".join("%s=%r" % kv for kv in sorted(self.selections.items()))
+        return "push {%s} to %s.%s" % (sel, self.source, self.class_name)
+
+    def run(self, context):
+        rows = context.mediator.source_query(
+            self.source, SourceQuery(self.class_name, self.selections)
+        )
+        context.rows[(self.source, self.class_name)] = rows
+        if self.bind_attrs:
+            bindings = sorted(
+                {
+                    tuple(row[attr] for attr in self.bind_attrs)
+                    for row in rows
+                }
+            )
+            context.bindings[self.bind_attrs] = bindings
+        return rows
+
+
+class SelectSourcesStep(PlanStep):
+    """Step 2: select sources via the domain map's semantic index."""
+
+    kind = "select-sources"
+
+    def __init__(self, concepts, target_class, exclude=()):
+        self.concepts = tuple(concepts)
+        self.target_class = target_class
+        self.exclude = set(exclude)
+        self.selected: List[str] = []
+
+    def describe(self):
+        return "select sources anchored at %s exporting %r" % (
+            list(self.concepts),
+            self.target_class,
+        )
+
+    def run(self, context):
+        mediator = context.mediator
+        candidates = set(
+            mediator.index.sources_for_any(self.concepts)
+        ) - self.exclude
+        self.selected = sorted(
+            source
+            for source in candidates
+            if self.target_class in mediator.wrapper(source).exports
+        )
+        context.selected_sources = list(self.selected)
+        return self.selected
+
+
+class RetrieveAnchoredStep(PlanStep):
+    """Step 3: push anchor-derived selections to the selected sources."""
+
+    kind = "retrieve"
+
+    def __init__(self, target_class, anchor_attr, concepts, filters):
+        self.target_class = target_class
+        self.anchor_attr = anchor_attr
+        self.concepts = tuple(concepts)
+        self.filters = dict(filters)
+
+    def describe(self):
+        return "retrieve %r at %s from selected sources" % (
+            self.target_class,
+            list(self.concepts),
+        )
+
+    def run(self, context):
+        from ..errors import SourceError, XMLTransportError
+
+        mediator = context.mediator
+        collected = []
+        for source in context.selected_sources:
+            try:
+                collected.extend(self._retrieve_from(mediator, source))
+            except (SourceError, XMLTransportError) as exc:
+                if not context.skip_failed_sources:
+                    raise
+                context.errors.append((source, exc))
+        context.retrieved = collected
+        return collected
+
+    def _retrieve_from(self, mediator, source):
+        collected = []
+        wrapper = mediator.wrapper(source)
+        capability = wrapper.capabilities()[self.target_class]
+        pushable = {
+            attr: value
+            for attr, value in self.filters.items()
+            if capability.answerable({self.anchor_attr: None, attr: None})
+        }
+        local_filters = {
+            attr: value
+            for attr, value in self.filters.items()
+            if attr not in pushable
+        }
+        for concept in self.concepts:
+            for raw_value in wrapper.selection_values_for_concept(
+                self.target_class, self.anchor_attr, concept
+            ):
+                selections = {self.anchor_attr: raw_value}
+                selections.update(pushable)
+                rows = mediator.source_query(
+                    source, SourceQuery(self.target_class, selections)
+                )
+                for row in rows:
+                    if all(
+                        row.get(attr) == value
+                        for attr, value in local_filters.items()
+                    ):
+                        collected.append((source, row))
+        return collected
+
+
+class ComputeLubStep(PlanStep):
+    """Step 4a: the distribution root as lub of the anchor concepts."""
+
+    kind = "compute-lub"
+
+    def __init__(self, concepts, order):
+        self.concepts = tuple(concepts)
+        self.order = order
+        self.root: Optional[str] = None
+
+    def describe(self):
+        return "lub of %s in the %r order" % (list(self.concepts), self.order)
+
+    def run(self, context):
+        self.root = lub(context.mediator.dm, self.concepts, order=self.order)
+        context.root = self.root
+        return self.root
+
+
+class AggregateStep(PlanStep):
+    """Step 4b: downward closure + recursive aggregation below the root."""
+
+    kind = "aggregate"
+
+    def __init__(self, target_class, group_attr, value_attr, role, func):
+        self.target_class = target_class
+        self.group_attr = group_attr
+        self.value_attr = value_attr
+        self.role = role
+        self.func = func
+
+    def describe(self):
+        return "aggregate %s(%s) by %s below the lub via %s" % (
+            self.func,
+            self.value_attr,
+            self.group_attr,
+            self.role,
+        )
+
+    def run(self, context):
+        mediator = context.mediator
+        facts = []
+        groups = set()
+        for source, row in context.retrieved:
+            wrapper = mediator.wrapper(source)
+            facts.extend(wrapper.lift_rows(self.target_class, [row]))
+            groups.add(row[self.group_attr])
+        # Aggregate over the retrieved objects only: evaluating against
+        # the mediator's eagerly loaded data would undo the plan's
+        # step-3 filtering (organism, ion, location bounds).
+        store = mediator.evaluate_with(facts, include_data=False).store
+        answers = []
+        for group_value in sorted(groups, key=repr):
+            distribution = aggregate_over_dm(
+                mediator.dm,
+                store,
+                context.root,
+                self.value_attr,
+                role=self.role,
+                func=self.func,
+                group_attr=self.group_attr,
+                group_value=group_value,
+            )
+            answers.append((group_value, distribution))
+        context.answers = answers
+        return answers
+
+
+class PlanContext:
+    """Mutable execution state threaded through the steps.
+
+    With `skip_failed_sources`, retrieval errors from individual
+    sources are recorded in `errors` instead of aborting the plan —
+    the remaining sources still answer (partial results are the norm
+    in federations of independently operated labs).
+    """
+
+    def __init__(self, mediator, skip_failed_sources=False):
+        self.mediator = mediator
+        self.rows: Dict = {}
+        self.bindings: Dict = {}
+        self.selected_sources: List[str] = []
+        self.retrieved: List = []
+        self.root: Optional[str] = None
+        self.answers: List = []
+        self.skip_failed_sources = skip_failed_sources
+        self.errors: List = []
+
+
+class QueryPlan:
+    """An ordered, inspectable list of plan steps."""
+
+    def __init__(self, steps):
+        self.steps: List[PlanStep] = list(steps)
+
+    @property
+    def kinds(self):
+        return [step.kind for step in self.steps]
+
+    def describe(self):
+        return "\n".join(
+            "%d. [%s] %s" % (i + 1, step.kind, step.describe())
+            for i, step in enumerate(self.steps)
+        )
+
+    def execute(self, mediator, skip_failed_sources=False):
+        context = PlanContext(mediator, skip_failed_sources=skip_failed_sources)
+        for step in self.steps:
+            step.run(context)
+        return context
+
+
+def plan(mediator, query):
+    """Plan a :class:`CorrelationQuery` (without executing it).
+
+    Performs capability checks up front: the seed selections must be
+    answerable by the seed source's binding patterns.
+    """
+    seed_source = query.seed_source
+    if seed_source is None:
+        exporters = [
+            name
+            for name in mediator.source_names()
+            if query.seed_class in mediator.wrapper(name).exports
+        ]
+        if len(exporters) != 1:
+            raise PlanningError(
+                "cannot infer seed source for class %r (exporters: %s)"
+                % (query.seed_class, exporters)
+            )
+        seed_source = exporters[0]
+    wrapper = mediator.wrapper(seed_source)
+    capability = wrapper.capabilities().get(query.seed_class)
+    if capability is None:
+        raise PlanningError(
+            "source %r does not export seed class %r"
+            % (seed_source, query.seed_class)
+        )
+    try:
+        capability.require_answerable(query.seed_selections)
+    except CapabilityError as exc:
+        raise PlanningError(str(exc)) from exc
+
+    # Anchor concepts are only known after step 1 runs; the plan wires
+    # the steps so later ones read the context.  For inspectability we
+    # run step 1 eagerly here (the paper's planner also needs the X, Y
+    # bindings before source selection).
+    step1 = PushSelectionStep(
+        seed_source, query.seed_class, query.seed_selections, query.anchor_attrs
+    )
+    probe_context = PlanContext(mediator)
+    step1.run(probe_context)
+    concept_pairs = probe_context.bindings.get(query.anchor_attrs, [])
+    concepts = sorted({c for pair in concept_pairs for c in pair if c})
+    for concept in concepts:
+        mediator.dm.require_concept(concept)
+
+    step2 = SelectSourcesStep(concepts, query.target_class, exclude={seed_source})
+    step3 = RetrieveAnchoredStep(
+        query.target_class,
+        query.target_anchor_attr,
+        concepts,
+        query.target_filters,
+    )
+    step4a = ComputeLubStep(concepts, order=query.role)
+    step4b = AggregateStep(
+        query.target_class,
+        query.group_attr,
+        query.value_attr,
+        query.role,
+        query.func,
+    )
+    return QueryPlan([step1, step2, step3, step4a, step4b])
+
+
+def execute(mediator, query, skip_failed_sources=False):
+    """Plan and execute; returns (plan, context).
+
+    With `skip_failed_sources`, a source failing during retrieval is
+    recorded in ``context.errors`` and the plan continues with the
+    remaining sources.
+    """
+    query_plan = plan(mediator, query)
+    context = query_plan.execute(
+        mediator, skip_failed_sources=skip_failed_sources
+    )
+    return query_plan, context

@@ -1,0 +1,131 @@
+"""Builtin evaluation: comparisons and arithmetic expressions.
+
+Builtins operate on ground :class:`Const` values.  ``=`` additionally
+acts as unification when a side is unbound.  Arithmetic expression trees
+are :class:`Struct` terms with functors ``+ - * / // mod abs min max``.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+from ..errors import EvaluationError
+from .ast import Assignment, Comparison
+from .terms import Const, Struct, Term, Var, substitute, unify, walk
+
+_ARITH_BINARY = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "//": lambda a, b: a // b,
+    "mod": lambda a, b: a % b,
+    "min": min,
+    "max": max,
+}
+
+_ARITH_UNARY = {
+    "-": lambda a: -a,
+    "abs": abs,
+}
+
+
+def evaluate_expression(term, subst):
+    """Evaluate an arithmetic expression term to a Python value.
+
+    Raises :class:`EvaluationError` when a leaf is unbound or a functor
+    is not arithmetic.
+    """
+    term = walk(term, subst)
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Var):
+        raise EvaluationError("unbound variable %s in arithmetic expression" % term)
+    if isinstance(term, Struct):
+        if len(term.args) == 2 and term.functor in _ARITH_BINARY:
+            left = evaluate_expression(term.args[0], subst)
+            right = evaluate_expression(term.args[1], subst)
+            try:
+                return _ARITH_BINARY[term.functor](left, right)
+            except (TypeError, ZeroDivisionError) as exc:
+                raise EvaluationError(
+                    "arithmetic failure %s(%r, %r): %s"
+                    % (term.functor, left, right, exc)
+                ) from exc
+        if len(term.args) == 1 and term.functor in _ARITH_UNARY:
+            value = evaluate_expression(term.args[0], subst)
+            try:
+                return _ARITH_UNARY[term.functor](value)
+            except TypeError as exc:
+                raise EvaluationError(
+                    "arithmetic failure %s(%r): %s" % (term.functor, value, exc)
+                ) from exc
+        raise EvaluationError("non-arithmetic functor %r in expression" % term.functor)
+    raise EvaluationError("cannot evaluate %r" % (term,))
+
+
+def _comparison_key(value):
+    """Totally order mixed ground values so < never raises.
+
+    Numbers order among themselves; otherwise values are grouped by type
+    name and ordered by repr within a group.  This mirrors the behaviour
+    of a database sort over a union-typed column.
+    """
+    if isinstance(value, bool):
+        # bool is a numbers.Integral subclass; keep it with numbers so
+        # 0/False comparisons behave arithmetically.
+        return (0, float(value), "")
+    if isinstance(value, numbers.Real):
+        return (0, float(value), "")
+    return (1, 0.0, (type(value).__name__, repr(value)))
+
+
+def compare_values(op, left, right):
+    """Apply a comparison operator to two ground Python values."""
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    lk, rk = _comparison_key(left), _comparison_key(right)
+    if op == "<":
+        return lk < rk
+    if op == "<=":
+        return lk <= rk
+    if op == ">":
+        return lk > rk
+    if op == ">=":
+        return lk >= rk
+    raise EvaluationError("unknown comparison operator %r" % op)
+
+
+def solve_comparison(item, subst):
+    """Yield extended substitutions satisfying a comparison.
+
+    ``=`` unifies (0 or 1 solutions, possibly binding variables); other
+    operators test ground values and yield `subst` unchanged on success.
+    """
+    left = walk(item.left, subst)
+    right = walk(item.right, subst)
+    if item.op == "=":
+        unified = unify(left, right, subst)
+        if unified is not None:
+            yield unified
+        return
+    left = substitute(left, subst)
+    right = substitute(right, subst)
+    if not left.is_ground() or not right.is_ground():
+        raise EvaluationError(
+            "comparison %s has unbound arguments (%s, %s)" % (item, left, right)
+        )
+    left_value = left.value if isinstance(left, Const) else left
+    right_value = right.value if isinstance(right, Const) else right
+    if compare_values(item.op, left_value, right_value):
+        yield subst
+
+
+def solve_assignment(item, subst):
+    """Yield extended substitutions for ``Target is Expr``."""
+    value = Const(evaluate_expression(item.expr, subst))
+    unified = unify(item.target, value, subst)
+    if unified is not None:
+        yield unified

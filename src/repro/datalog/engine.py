@@ -1,0 +1,464 @@
+"""Bottom-up evaluation: semi-naive, stratified, and well-founded.
+
+The evaluator computes the minimal model of a safe program:
+
+* **Stratified programs** are split into strata (:mod:`.stratify`) and
+  each stratum is saturated by semi-naive iteration; negated and
+  aggregated subgoals only ever reference relations completed in earlier
+  strata, so they are evaluated against the accumulating store directly.
+* **Non-stratifiable negation** falls back to the *alternating fixpoint*
+  computation of the well-founded model (Van Gelder): a growing
+  underestimate of true facts and a shrinking overestimate are iterated
+  until both stabilize; facts in the overestimate but not the
+  underestimate are *undefined*.  This is exactly the semantics the
+  paper requires of the GCM rule language ("Datalog with well-founded
+  negation", Section 3).
+
+Rule bodies are greedily reordered at evaluation time so builtins and
+negation run as soon as their variables are bound, which the safety
+check guarantees is always eventually possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import EvaluationError, StratificationError
+from .ast import AggregateLiteral, Assignment, Atom, Comparison, Literal, Program, Rule
+from .builtins import solve_assignment, solve_comparison
+from .safety import check_program_safety
+from .store import FactStore
+from .stratify import is_aggregate_stratified, stratify
+from .terms import Const, Struct, Term, Var, substitute, term_sort_key, unify, walk
+
+
+class EvaluationResult:
+    """Outcome of evaluating a program.
+
+    Attributes:
+        store: all facts that are *true* in the computed model.
+        undefined: facts with *undefined* truth value (empty unless the
+            program needed the well-founded fallback).
+        used_well_founded: True when the alternating fixpoint ran.
+        strata: the stratification used (None under the fallback).
+    """
+
+    def __init__(self, store, undefined=None, used_well_founded=False, strata=None):
+        self.store = store
+        self.undefined = undefined if undefined is not None else FactStore()
+        self.used_well_founded = used_well_founded
+        self.strata = strata
+
+    def is_true(self, atom):
+        return self.store.contains(atom)
+
+    def is_undefined(self, atom):
+        return self.undefined.contains(atom)
+
+    def facts(self, pred=None):
+        return self.store.sorted_atoms(pred)
+
+
+#: default ceiling on derived facts: compound (Skolem) terms make
+#: non-terminating programs easy to write; hitting the ceiling raises a
+#: diagnosable error instead of looping forever.
+DEFAULT_MAX_FACTS = 2_000_000
+
+
+def evaluate(program, check_safety=True, strategy="seminaive", max_facts=None):
+    """Evaluate `program` and return an :class:`EvaluationResult`.
+
+    Stratifiable programs get the stratified semi-naive treatment; with
+    recursive negation the well-founded model is computed instead.
+    Aggregation through recursion is always an error.
+
+    `strategy` selects the fixpoint iteration: ``"seminaive"``
+    (default) restricts recursive rules to the previous round's delta;
+    ``"naive"`` re-fires every rule against the full store each round —
+    kept for the ablation benchmark.
+
+    `max_facts` bounds the derived-fact count (default
+    :data:`DEFAULT_MAX_FACTS`); programs that create unboundedly many
+    Skolem terms fail with :class:`EvaluationError` rather than running
+    forever.
+    """
+    if strategy not in ("seminaive", "naive"):
+        raise EvaluationError("unknown evaluation strategy %r" % strategy)
+    if check_safety:
+        check_program_safety(program)
+    try:
+        strata = stratify(program)
+    except StratificationError:
+        if not is_aggregate_stratified(program):
+            raise
+        true_store, undefined = well_founded_model(program, check_safety=False)
+        return EvaluationResult(
+            true_store, undefined=undefined, used_well_founded=True
+        )
+    store = FactStore()
+    evaluator = _Evaluator(
+        store,
+        seminaive=(strategy == "seminaive"),
+        max_facts=max_facts if max_facts is not None else DEFAULT_MAX_FACTS,
+    )
+    for stratum in strata:
+        rules = [r for r in program if r.head.signature in stratum]
+        evaluator.saturate(rules)
+    return EvaluationResult(store, strata=strata)
+
+
+def query(program, goal, check_safety=True):
+    """Evaluate `program` and return all bindings of `goal`'s variables.
+
+    `goal` is an :class:`Atom` (possibly with variables).  The result is
+    a deterministically ordered list of dicts mapping variable names to
+    Python values (Const payloads) or terms (for Struct results).
+    """
+    result = evaluate(program, check_safety=check_safety)
+    return match_atom(result.store, goal)
+
+
+def match_atom(store, goal):
+    """All bindings of `goal` against a fact store (deterministic order)."""
+    solutions = []
+    for args in store.rows(goal.signature):
+        subst = {}
+        ok = True
+        for pattern, ground in zip(goal.args, args):
+            unified = unify(pattern, ground, subst)
+            if unified is None:
+                ok = False
+                break
+            subst = unified
+        if ok:
+            solutions.append(_externalize(subst, goal))
+    solutions.sort(key=lambda binding: sorted(
+        (name, _sort_key_for(value)) for name, value in binding.items()
+    ))
+    return solutions
+
+
+def _sort_key_for(value):
+    if isinstance(value, Term):
+        return term_sort_key(value)
+    return (0, type(value).__name__, repr(value))
+
+
+def _externalize(subst, goal):
+    binding = {}
+    for v in set(goal.variables()):
+        if v.is_anonymous:
+            continue
+        value = substitute(v, subst)
+        if isinstance(value, Const):
+            binding[v.name] = value.value
+        else:
+            binding[v.name] = value
+    return binding
+
+
+def well_founded_model(program, check_safety=True, max_rounds=10_000):
+    """Compute the well-founded model by alternating fixpoint.
+
+    Returns ``(true_store, undefined_store)``.  The iteration maintains
+    an underestimate T (facts certainly true) and an overestimate U
+    (facts not certainly false): ``T_{i+1} = Gamma(U_i)`` and
+    ``U_{i+1} = Gamma(T_{i+1})`` where Gamma(J) evaluates the program
+    with ``not q`` read as ``q not in J``.  T grows, U shrinks, and both
+    converge because the ground instantiation is finite for safe,
+    terminating programs.
+    """
+    if check_safety:
+        check_program_safety(program)
+    rules = list(program)
+    true_estimate = FactStore()  # T: certainly-true facts
+    possible = _gamma(rules, FactStore())  # U_0 = Gamma(empty): everything possible
+    for _round in range(max_rounds):
+        new_true = _gamma(rules, possible)
+        new_possible = _gamma(rules, new_true)
+        if new_true.same_facts(true_estimate) and new_possible.same_facts(possible):
+            break
+        true_estimate, possible = new_true, new_possible
+    else:
+        raise EvaluationError("well-founded computation did not converge")
+    undefined = FactStore()
+    for atom in possible.iter_atoms():
+        if not true_estimate.contains(atom):
+            undefined.add(atom)
+    return true_estimate, undefined
+
+
+def _gamma(rules, anti_store):
+    """Least model of `rules` with negation evaluated against `anti_store`."""
+    store = FactStore()
+    evaluator = _Evaluator(store, negation_store=anti_store)
+    evaluator.saturate(rules)
+    return store
+
+
+class _Evaluator:
+    """Semi-naive saturation of a rule set against a shared store.
+
+    With `negation_store` set, negated subgoals are tested against that
+    fixed store (well-founded Gamma operator); otherwise they read the
+    accumulating store, which is only sound when the evaluated rules are
+    a stratum whose negated dependencies are already complete.
+    """
+
+    def __init__(self, store, negation_store=None, seminaive=True, max_facts=None):
+        self.store = store
+        self.negation_store = negation_store
+        self.seminaive = seminaive
+        self.max_facts = max_facts
+
+    def _check_budget(self):
+        if self.max_facts is not None and len(self.store) > self.max_facts:
+            raise EvaluationError(
+                "evaluation exceeded max_facts=%d (non-terminating Skolem "
+                "recursion?)" % self.max_facts
+            )
+
+    # -- saturation --------------------------------------------------
+
+    def saturate(self, rules):
+        facts = [r for r in rules if r.is_fact]
+        proper = [r for r in rules if not r.is_fact]
+        delta = FactStore()
+        for rule in facts:
+            if self.store.add(rule.head):
+                delta.add(rule.head)
+
+        local_sigs = {r.head.signature for r in rules}
+        ordered = [(rule, _order_body(rule)) for rule in proper]
+
+        # First full pass: every rule against the complete store.  Heads
+        # are buffered per rule so the store is never mutated while a
+        # candidate set from the same relation is being iterated.
+        for rule, body in ordered:
+            heads = [
+                rule.head.substitute(subst)
+                for subst in self._solve(body, 0, {}, None, None)
+            ]
+            for head in heads:
+                if not head.is_ground():
+                    raise EvaluationError("derived non-ground fact %s" % head)
+                if self.store.add(head):
+                    delta.add(head)
+
+        # Semi-naive rounds: require one recursive literal in the delta.
+        recursive = []
+        for rule, body in ordered:
+            delta_positions = [
+                i
+                for i, item in enumerate(body)
+                if isinstance(item, Literal)
+                and item.positive
+                and item.atom.signature in local_sigs
+            ]
+            if delta_positions:
+                recursive.append((rule, body, delta_positions))
+
+        if not self.seminaive:
+            # Naive ablation: every recursive rule refires against the
+            # full store each round until nothing new is derived.
+            changed = bool(delta)
+            while changed:
+                changed = False
+                for rule, body, _positions in recursive:
+                    heads = [
+                        rule.head.substitute(subst)
+                        for subst in self._solve(body, 0, {}, None, None)
+                    ]
+                    for head in heads:
+                        if self.store.add(head):
+                            changed = True
+                self._check_budget()
+            return
+
+        while len(delta):
+            new_delta = FactStore()
+            for rule, body, delta_positions in recursive:
+                for position in delta_positions:
+                    heads = [
+                        rule.head.substitute(subst)
+                        for subst in self._solve(body, 0, {}, position, delta)
+                    ]
+                    for head in heads:
+                        if not head.is_ground():
+                            raise EvaluationError(
+                                "derived non-ground fact %s" % head
+                            )
+                        if self.store.add(head):
+                            new_delta.add(head)
+            self._check_budget()
+            delta = new_delta
+
+    # -- body solving ------------------------------------------------
+
+    def _solve(self, body, index, subst, delta_position, delta):
+        """Yield substitutions satisfying body[index:] under `subst`.
+
+        When `delta_position` is not None, the literal at that body
+        index draws its candidate facts from `delta` instead of the full
+        store (semi-naive restriction).
+        """
+        if index == len(body):
+            yield subst
+            return
+        item = body[index]
+        if isinstance(item, Literal):
+            if item.positive:
+                source = (
+                    delta
+                    if delta_position == index and delta is not None
+                    else self.store
+                )
+                atom = item.atom
+                for args in source.candidates(atom, subst):
+                    new = subst
+                    ok = True
+                    for pattern, ground in zip(atom.args, args):
+                        new = unify(pattern, ground, new)
+                        if new is None:
+                            ok = False
+                            break
+                    if ok:
+                        yield from self._solve(
+                            body, index + 1, new, delta_position, delta
+                        )
+            else:
+                ground = item.atom.substitute(subst)
+                if not ground.is_ground():
+                    raise EvaluationError(
+                        "negated subgoal %s not ground at evaluation time"
+                        % ground
+                    )
+                target = (
+                    self.negation_store
+                    if self.negation_store is not None
+                    else self.store
+                )
+                if not target.contains(ground):
+                    yield from self._solve(
+                        body, index + 1, subst, delta_position, delta
+                    )
+        elif isinstance(item, Comparison):
+            for new in solve_comparison(item, subst):
+                yield from self._solve(body, index + 1, new, delta_position, delta)
+        elif isinstance(item, Assignment):
+            for new in solve_assignment(item, subst):
+                yield from self._solve(body, index + 1, new, delta_position, delta)
+        elif isinstance(item, AggregateLiteral):
+            for new in self._solve_aggregate(item, subst):
+                yield from self._solve(body, index + 1, new, delta_position, delta)
+        else:
+            raise EvaluationError("unsupported body item %r" % (item,))
+
+    def _solve_aggregate(self, agg, subst):
+        """Group the aggregate subgoal's solutions and bind the result."""
+        inner_body = _order_body_items(list(agg.body))
+        groups: Dict[Tuple, List] = {}
+        for inner in self._solve(inner_body, 0, dict(subst), None, None):
+            key = tuple(substitute(g, inner) for g in agg.group_by)
+            value = substitute(agg.value, inner)
+            if not value.is_ground():
+                raise EvaluationError(
+                    "aggregate value %s not ground" % value
+                )
+            groups.setdefault(key, []).append(value)
+        for key, values in sorted(
+            groups.items(),
+            key=lambda kv: tuple(term_sort_key(t) for t in kv[0]),
+        ):
+            result_value = _apply_aggregate(agg.func, values)
+            new = dict(subst)
+            ok = True
+            for pattern, ground in zip(agg.group_by, key):
+                unified = unify(pattern, ground, new)
+                if unified is None:
+                    ok = False
+                    break
+                new = unified
+            if not ok:
+                continue
+            unified = unify(agg.result, Const(result_value), new)
+            if unified is not None:
+                yield unified
+
+
+def _apply_aggregate(func, values):
+    if func == "count":
+        return len(set(values))
+    numbers = []
+    for v in values:
+        if not isinstance(v, Const) or isinstance(v.value, str):
+            raise EvaluationError(
+                "aggregate %s over non-numeric value %s" % (func, v)
+            )
+        numbers.append(v.value)
+    if not numbers:
+        raise EvaluationError("aggregate %s over empty group" % func)
+    if func == "sum":
+        return sum(numbers)
+    if func == "min":
+        return min(numbers)
+    if func == "max":
+        return max(numbers)
+    if func == "avg":
+        return sum(numbers) / len(numbers)
+    raise EvaluationError("unknown aggregate %r" % func)
+
+
+def _order_body(rule):
+    """Greedy evaluation order for a rule body (see module docstring)."""
+    return _order_body_items(list(rule.body))
+
+
+def _order_body_items(items):
+    ordered = []
+    bound: Set[Var] = set()
+    remaining = list(items)
+    while remaining:
+        chosen = None
+        # Priority 1: ready builtins / negation / aggregate (cheap filters).
+        for item in remaining:
+            if _is_ready_filter(item, bound):
+                chosen = item
+                break
+        # Priority 2: the first positive literal (generator).
+        if chosen is None:
+            for item in remaining:
+                if isinstance(item, Literal) and item.positive:
+                    chosen = item
+                    break
+        # Priority 3: an '=' comparison with one groundable side, an
+        # aggregate (they can self-bind), or anything left.
+        if chosen is None:
+            for item in remaining:
+                if isinstance(item, (AggregateLiteral, Comparison, Assignment)):
+                    chosen = item
+                    break
+        if chosen is None:
+            chosen = remaining[0]
+        remaining.remove(chosen)
+        ordered.append(chosen)
+        for v in chosen.variables():
+            bound.add(v)
+        if isinstance(chosen, AggregateLiteral):
+            bound.update(chosen.inner_variables())
+    return ordered
+
+
+def _is_ready_filter(item, bound):
+    """Is `item` a pure filter whose variables are already bound?"""
+    if isinstance(item, Literal) and not item.positive:
+        return all(v in bound or v.is_anonymous for v in item.variables())
+    if isinstance(item, Comparison):
+        if item.op == "=":
+            left_ok = all(v in bound for v in item.left.variables())
+            right_ok = all(v in bound for v in item.right.variables())
+            return left_ok or right_ok
+        return all(v in bound for v in item.variables())
+    if isinstance(item, Assignment):
+        return all(v in bound for v in item.expr.variables())
+    return False

@@ -1,0 +1,216 @@
+"""Magic-set transformation: goal-directed bottom-up evaluation.
+
+The mediator's query processing "pushes down" selections (Section 5);
+magic sets is the corresponding rule-rewriting technique for the
+Datalog tier: given a goal with bound arguments, the program is
+rewritten so bottom-up evaluation only derives facts *relevant* to the
+goal, instead of materializing whole relations.
+
+The implementation is the generalized magic-set transformation with
+left-to-right sideways information passing and inline supplementary
+bodies (each magic rule repeats the preceding subgoals rather than
+introducing supplementary predicates — simpler, same answers):
+
+* the goal's constant positions give the initial *adornment* (``b`` for
+  bound, ``f`` for free);
+* each reachable IDB predicate/adornment pair gets adorned rules whose
+  bodies are guarded by a ``_magic_p_<ad>`` literal over the bound
+  arguments;
+* magic rules propagate bindings into body IDB subgoals;
+* EDB predicates, builtins and comparisons pass through untouched;
+* negated or aggregated subgoals are *not* restricted: their predicates
+  (and everything below them) are evaluated in full, keeping the
+  transformation sound for stratified programs.
+
+:func:`magic_query` is the drop-in replacement for
+:func:`repro.datalog.engine.query` that applies the transformation
+first; equivalence is property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import EvaluationError
+from .ast import AggregateLiteral, Assignment, Atom, Comparison, Literal, Program, Rule
+from .engine import evaluate, match_atom
+from .terms import Var
+
+
+def _adornment_of(atom, bound_vars):
+    """The b/f adornment string of `atom` given bound variables."""
+    flags = []
+    for arg in atom.args:
+        arg_vars = set(arg.variables())
+        if not arg_vars:  # ground argument
+            flags.append("b")
+        elif arg_vars <= bound_vars:
+            flags.append("b")
+        else:
+            flags.append("f")
+    return "".join(flags)
+
+
+def _adorned_name(pred, adornment):
+    return "%s__%s" % (pred, adornment)
+
+
+def _magic_name(pred, adornment):
+    return "_magic_%s__%s" % (pred, adornment)
+
+
+def _bound_args(atom, adornment):
+    return tuple(
+        arg for arg, flag in zip(atom.args, adornment) if flag == "b"
+    )
+
+
+class MagicTransform:
+    """The rewriting of one program for one goal."""
+
+    def __init__(self, program, goal):
+        self.program = program
+        self.goal = goal
+        self.idb = program.idb_predicates()
+        self.rules_by_pred: Dict[Tuple[str, int], List[Rule]] = {}
+        for rule in program:
+            self.rules_by_pred.setdefault(rule.head.signature, []).append(rule)
+        self.output = Program()
+        self.done_adorned: Set[Tuple[str, int, str]] = set()
+        self.full_predicates: Set[Tuple[str, int]] = set()
+
+    def run(self):
+        """Apply the transformation; returns (program, adorned goal)."""
+        goal_adornment = _adornment_of(self.goal, set())
+        if "b" not in goal_adornment or self.goal.signature not in self.idb:
+            # Nothing to specialize: fall back to the original program.
+            return self.program, self.goal
+
+        # seed fact
+        seed_args = _bound_args(self.goal, goal_adornment)
+        self.output.add(Rule(Atom(_magic_name(self.goal.pred, goal_adornment), seed_args)))
+        self._process(self.goal.pred, len(self.goal.args), goal_adornment)
+
+        # facts and untouched (EDB / full) predicates
+        for rule in self.program:
+            if rule.head.signature not in self.idb:
+                self.output.add(rule)
+        for signature in sorted(self.full_predicates):
+            self._emit_full(signature, set())
+
+        adorned_goal = Atom(
+            _adorned_name(self.goal.pred, goal_adornment), self.goal.args
+        )
+        return self.output, adorned_goal
+
+    # -- helpers ------------------------------------------------------------
+
+    def _emit_full(self, signature, emitting):
+        """Copy a predicate's rules (and its IDB dependencies) verbatim."""
+        if signature in emitting:
+            return
+        emitting = emitting | {signature}
+        for rule in self.rules_by_pred.get(signature, ()):
+            self.output.add(rule)
+            for item in rule.body:
+                for dep in _idb_deps(item, self.idb):
+                    self._emit_full(dep, emitting)
+
+    def _process(self, pred, arity, adornment):
+        key = (pred, arity, adornment)
+        if key in self.done_adorned:
+            return
+        self.done_adorned.add(key)
+        for rule in self.rules_by_pred.get((pred, arity), ()):
+            self._adorn_rule(rule, adornment)
+
+    def _adorn_rule(self, rule, adornment):
+        head = rule.head
+        bound_head_args = _bound_args(head, adornment)
+        magic_literal = Literal(
+            Atom(_magic_name(head.pred, adornment), bound_head_args)
+        )
+        bound_vars: Set[Var] = set()
+        for arg in bound_head_args:
+            bound_vars |= set(arg.variables())
+
+        new_body: List = [magic_literal]
+        prefix: List = [magic_literal]  # supplementary body so far
+        for item in rule.body:
+            if isinstance(item, Literal) and item.positive:
+                signature = item.atom.signature
+                if signature in self.idb:
+                    sub_adornment = _adornment_of(item.atom, bound_vars)
+                    if "b" in sub_adornment:
+                        # magic rule: how bindings reach this subgoal
+                        magic_head = Atom(
+                            _magic_name(item.atom.pred, sub_adornment),
+                            _bound_args(item.atom, sub_adornment),
+                        )
+                        self.output.add(Rule(magic_head, tuple(prefix)))
+                        self._process(
+                            item.atom.pred, item.atom.arity, sub_adornment
+                        )
+                        adorned = Literal(
+                            Atom(
+                                _adorned_name(item.atom.pred, sub_adornment),
+                                item.atom.args,
+                            )
+                        )
+                        new_body.append(adorned)
+                        prefix.append(adorned)
+                    else:
+                        # no bindings flow in: evaluate in full
+                        self.full_predicates.add(signature)
+                        new_body.append(item)
+                        prefix.append(item)
+                else:
+                    new_body.append(item)
+                    prefix.append(item)
+                bound_vars |= set(item.atom.variables())
+            elif isinstance(item, Literal):  # negation: never restricted
+                if item.atom.signature in self.idb:
+                    self.full_predicates.add(item.atom.signature)
+                new_body.append(item)
+                prefix.append(item)
+            elif isinstance(item, AggregateLiteral):
+                for dep in _idb_deps(item, self.idb):
+                    self.full_predicates.add(dep)
+                new_body.append(item)
+                prefix.append(item)
+                bound_vars |= set(item.variables())
+            else:  # comparisons / assignments
+                new_body.append(item)
+                prefix.append(item)
+                bound_vars |= set(item.variables())
+
+        adorned_head = Atom(_adorned_name(rule.head.pred, adornment), head.args)
+        self.output.add(Rule(adorned_head, tuple(new_body)))
+
+
+def _idb_deps(item, idb):
+    deps = []
+    if isinstance(item, Literal):
+        if item.atom.signature in idb:
+            deps.append(item.atom.signature)
+    elif isinstance(item, AggregateLiteral):
+        for inner in item.body:
+            deps.extend(_idb_deps(inner, idb))
+    return deps
+
+
+def magic_transform(program, goal):
+    """Rewrite `program` for goal-directed evaluation of `goal`.
+
+    Returns ``(rewritten_program, rewritten_goal)``.  When the goal has
+    no bound argument (or is EDB), the original program/goal are
+    returned unchanged.
+    """
+    return MagicTransform(program, goal).run()
+
+
+def magic_query(program, goal, check_safety=True):
+    """Goal-directed equivalent of :func:`repro.datalog.query`."""
+    rewritten, adorned_goal = magic_transform(program, goal)
+    result = evaluate(rewritten, check_safety=check_safety)
+    return match_atom(result.store, adorned_goal)

@@ -1,0 +1,328 @@
+"""Parser for the textual Datalog dialect.
+
+Grammar (informal)::
+
+    program     := (clause)*
+    clause      := atom [ ':-' body ] '.'
+    body        := item (',' item)*
+    item        := 'not' atom
+                 | VAR 'is' expr
+                 | term OP term             OP in = != < <= > >=
+                 | VAR '=' AGG '{' term ['[' term (',' term)* ']']
+                                  ';' body '}'
+                 | atom
+    atom        := SYMBOL [ '(' term (',' term)* ')' ]
+    term        := VAR | NUMBER | STRING | SYMBOL [ '(' term* ')' ]
+    expr        := arithmetic over + - * / // mod with parentheses
+
+Comments run from ``%`` to end of line.  Symbols are lowercase
+identifiers or single-quoted strings; variables start with an uppercase
+letter or underscore.  Double- and single-quoted literals both become
+string constants.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from .ast import (
+    AGGREGATE_FUNCS,
+    AggregateLiteral,
+    Assignment,
+    Atom,
+    Comparison,
+    Literal,
+    Program,
+    Rule,
+)
+from .terms import Const, Struct, Var
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>%[^\n]*)
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<dqstring>"(?:[^"\\]|\\.)*")
+  | (?P<sqstring>'(?:[^'\\]|\\.)*')
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>:-|!=|<=|>=|=|<|>|\(|\)|\{|\}|\[|\]|,|;|\.|\+|-|\*|//|/)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"not", "is", "mod"}
+
+
+class _Token:
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind, value, pos):
+        self.kind = kind
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self):
+        return "_Token(%r, %r, %d)" % (self.kind, self.value, self.pos)
+
+
+def _unescape(body):
+    return body.replace("\\\\", "\\").replace("\\'", "'").replace('\\"', '"')
+
+
+def tokenize(text):
+    """Tokenize `text`; raises :class:`ParseError` on illegal input."""
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(
+                "unexpected character %r" % text[pos], text=text, position=pos
+            )
+        kind = m.lastgroup
+        value = m.group()
+        if kind == "ws" or kind == "comment":
+            pos = m.end()
+            continue
+        if kind == "number":
+            number = float(value) if "." in value else int(value)
+            tokens.append(_Token("number", number, pos))
+        elif kind == "dqstring" or kind == "sqstring":
+            tokens.append(_Token("string", _unescape(value[1:-1]), pos))
+        elif kind == "name":
+            if value in _KEYWORDS:
+                tokens.append(_Token(value, value, pos))
+            elif value[0].isupper() or value[0] == "_":
+                tokens.append(_Token("var", value, pos))
+            else:
+                tokens.append(_Token("symbol", value, pos))
+        else:
+            tokens.append(_Token(value, value, pos))
+        pos = m.end()
+    tokens.append(_Token("eof", None, pos))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+        self._anon_counter = 0
+
+    # -- token helpers ------------------------------------------------
+
+    def peek(self, offset=0):
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def next(self):
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind):
+        token = self.next()
+        if token.kind != kind:
+            raise ParseError(
+                "expected %r but found %r" % (kind, token.value),
+                text=self.text,
+                position=token.pos,
+            )
+        return token
+
+    def error(self, message):
+        token = self.peek()
+        raise ParseError(message, text=self.text, position=token.pos)
+
+    # -- grammar ------------------------------------------------------
+
+    def parse_program(self):
+        program = Program()
+        while self.peek().kind != "eof":
+            program.add(self.parse_clause())
+        return program
+
+    def parse_clause(self):
+        head = self.parse_atom()
+        body = ()
+        if self.peek().kind == ":-":
+            self.next()
+            body = self.parse_body(stop_kinds=(".",))
+        self.expect(".")
+        return Rule(head, body)
+
+    def parse_body(self, stop_kinds):
+        items = [self.parse_body_item()]
+        while self.peek().kind == ",":
+            self.next()
+            items.append(self.parse_body_item())
+        if self.peek().kind not in stop_kinds:
+            self.error("expected %s after rule body" % " or ".join(stop_kinds))
+        return tuple(items)
+
+    def parse_body_item(self):
+        token = self.peek()
+        if token.kind == "not":
+            self.next()
+            return Literal(self.parse_atom(), positive=False)
+        if token.kind == "var":
+            nxt = self.peek(1)
+            if nxt.kind == "is":
+                variable = Var(self.next().value)
+                self.next()  # 'is'
+                return Assignment(variable, self.parse_expression())
+            if nxt.kind == "=" and self._peek_aggregate(2):
+                variable = Var(self.next().value)
+                self.next()  # '='
+                return self.parse_aggregate(variable)
+        # Either a comparison or a plain atom: parse a term first.
+        start = self.index
+        left = self.parse_term()
+        op_token = self.peek()
+        if op_token.kind in ("=", "!=", "<", "<=", ">", ">="):
+            self.next()
+            right = self.parse_term()
+            return Comparison(op_token.kind, left, right)
+        # Not a comparison: re-parse from `start` as an atom.
+        self.index = start
+        return Literal(self.parse_atom())
+
+    def _peek_aggregate(self, offset):
+        token = self.peek(offset)
+        return (
+            token.kind == "symbol"
+            and token.value in AGGREGATE_FUNCS
+            and self.peek(offset + 1).kind == "{"
+        )
+
+    def parse_aggregate(self, result_var):
+        func = self.expect("symbol").value
+        if func not in AGGREGATE_FUNCS:
+            self.error("unknown aggregate function %r" % func)
+        self.expect("{")
+        value = self.parse_term()
+        group_by = ()
+        if self.peek().kind == "[":
+            self.next()
+            groups = [self.parse_term()]
+            while self.peek().kind == ",":
+                self.next()
+                groups.append(self.parse_term())
+            self.expect("]")
+            group_by = tuple(groups)
+        self.expect(";")
+        body = self.parse_body(stop_kinds=("}",))
+        self.expect("}")
+        return AggregateLiteral(func, result_var, value, group_by, body)
+
+    def parse_atom(self):
+        token = self.next()
+        if token.kind not in ("symbol", "string"):
+            raise ParseError(
+                "expected predicate name, found %r" % (token.value,),
+                text=self.text,
+                position=token.pos,
+            )
+        name = token.value
+        args = ()
+        if self.peek().kind == "(":
+            self.next()
+            parsed = [self.parse_term()]
+            while self.peek().kind == ",":
+                self.next()
+                parsed.append(self.parse_term())
+            self.expect(")")
+            args = tuple(parsed)
+        return Atom(name, args)
+
+    def parse_term(self):
+        token = self.next()
+        if token.kind == "var":
+            if token.value == "_":
+                self._anon_counter += 1
+                return Var("_anon%d" % self._anon_counter)
+            return Var(token.value)
+        if token.kind == "number":
+            return Const(token.value)
+        if token.kind == "string":
+            return Const(token.value)
+        if token.kind == "symbol":
+            if self.peek().kind == "(":
+                self.next()
+                args = [self.parse_term()]
+                while self.peek().kind == ",":
+                    self.next()
+                    args.append(self.parse_term())
+                self.expect(")")
+                return Struct(token.value, tuple(args))
+            return Const(token.value)
+        raise ParseError(
+            "expected a term, found %r" % (token.value,),
+            text=self.text,
+            position=token.pos,
+        )
+
+    # -- arithmetic expressions ----------------------------------------
+
+    def parse_expression(self):
+        left = self.parse_expr_term()
+        while self.peek().kind in ("+", "-"):
+            op = self.next().kind
+            right = self.parse_expr_term()
+            left = Struct(op, (left, right))
+        return left
+
+    def parse_expr_term(self):
+        left = self.parse_expr_factor()
+        while self.peek().kind in ("*", "/", "//", "mod"):
+            op = self.next().kind
+            right = self.parse_expr_factor()
+            left = Struct(op, (left, right))
+        return left
+
+    def parse_expr_factor(self):
+        token = self.peek()
+        if token.kind == "(":
+            self.next()
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        if token.kind == "-":
+            self.next()
+            return Struct("-", (self.parse_expr_factor(),))
+        return self.parse_term()
+
+
+def parse_program(text):
+    """Parse a full program; returns :class:`Program`."""
+    return _Parser(text).parse_program()
+
+
+def parse_rule(text):
+    """Parse exactly one clause."""
+    parser = _Parser(text)
+    rule = parser.parse_clause()
+    if parser.peek().kind != "eof":
+        parser.error("trailing input after clause")
+    return rule
+
+
+def parse_atom(text):
+    """Parse a single atom (used for goals/queries)."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    if parser.peek().kind != "eof":
+        parser.error("trailing input after atom")
+    return atom
+
+
+def parse_term(text):
+    """Parse a single term."""
+    parser = _Parser(text)
+    term = parser.parse_term()
+    if parser.peek().kind != "eof":
+        parser.error("trailing input after term")
+    return term

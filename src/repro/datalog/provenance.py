@@ -1,0 +1,172 @@
+"""Provenance: derivation trees for derived facts.
+
+A mediated answer combines knowledge from several sources, domain-map
+axioms and view rules; *why is this fact true?* is the first question a
+mediation engineer asks.  :func:`explain` reconstructs a proof tree for
+a ground atom from the evaluated model:
+
+* an EDB fact explains itself,
+* a derived atom is explained by a rule instance whose positive body
+  atoms are recursively explained, whose negative subgoals are justified
+  by absence from the model (closed world), and whose builtins are
+  checked directly,
+* cyclic justifications are rejected (an atom may not support itself),
+  so the returned tree is always well-founded.
+
+Reconstruction is top-down over the *already computed* model, so it
+never derives anything new; it only arranges existing facts into a
+proof.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import EvaluationError
+from .ast import AggregateLiteral, Assignment, Atom, Comparison, Literal, Program, Rule
+from .engine import _Evaluator, _order_body_items, evaluate
+from .terms import substitute
+
+
+class Derivation:
+    """One node of a proof tree."""
+
+    def __init__(self, atom, rule=None, children=(), note=None):
+        self.atom = atom
+        self.rule = rule
+        self.children = list(children)
+        self.note = note
+
+    @property
+    def is_fact(self):
+        return self.rule is not None and self.rule.is_fact
+
+    def depth(self):
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def leaves(self):
+        """The EDB facts / builtin checks this proof bottoms out in."""
+        if not self.children:
+            return [self]
+        out = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def format(self, indent=0):
+        pad = "  " * indent
+        label = str(self.atom)
+        if self.note:
+            label = "%s   [%s]" % (label, self.note)
+        elif self.rule is not None and self.rule.is_fact:
+            label += "   [fact]"
+        elif self.rule is not None:
+            label += "   [rule: %s]" % self.rule
+        lines = [pad + label]
+        for child in self.children:
+            lines.append(child.format(indent + 1))
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.format()
+
+    def __repr__(self):
+        return "Derivation(%s, children=%d)" % (self.atom, len(self.children))
+
+
+class _Explainer:
+    def __init__(self, program, store):
+        self.program = program
+        self.store = store
+        self.rules_by_sig: Dict[Tuple[str, int], List[Rule]] = {}
+        for rule in program:
+            self.rules_by_sig.setdefault(rule.head.signature, []).append(rule)
+        self.memo: Dict[Atom, Derivation] = {}
+        self.solver = _Evaluator(store)
+
+    def explain(self, atom, path):
+        if atom in self.memo:
+            return self.memo[atom]
+        if atom in path:
+            return None  # no self-supporting proofs
+        if not self.store.contains(atom):
+            return None
+        path = path | {atom}
+
+        candidates = self.rules_by_sig.get(atom.signature, ())
+        # facts first: the shortest possible proof
+        for rule in candidates:
+            if rule.is_fact and rule.head == atom:
+                derivation = Derivation(atom, rule)
+                self.memo[atom] = derivation
+                return derivation
+        for rule in candidates:
+            if rule.is_fact:
+                continue
+            derivation = self._try_rule(atom, rule, path)
+            if derivation is not None:
+                self.memo[atom] = derivation
+                return derivation
+        return None
+
+    def _try_rule(self, atom, rule, path):
+        from .terms import unify
+
+        subst = {}
+        for pattern, ground in zip(rule.head.args, atom.args):
+            subst = unify(pattern, ground, subst)
+            if subst is None:
+                return None
+        body = _order_body_items(list(rule.body))
+        for solution in self.solver._solve(body, 0, subst, None, None):
+            children = self._explain_body(rule.body, solution, path)
+            if children is not None:
+                return Derivation(atom, rule, children)
+        return None
+
+    def _explain_body(self, body, solution, path):
+        children: List[Derivation] = []
+        for item in body:
+            if isinstance(item, Literal):
+                ground = item.atom.substitute(solution)
+                if item.positive:
+                    child = self.explain(ground, path)
+                    if child is None:
+                        return None
+                    children.append(child)
+                else:
+                    children.append(
+                        Derivation(ground, note="absent (closed world)")
+                    )
+            elif isinstance(item, Comparison):
+                children.append(
+                    Derivation(item.substitute(solution), note="builtin")
+                )
+            elif isinstance(item, Assignment):
+                children.append(
+                    Derivation(item.substitute(solution), note="arithmetic")
+                )
+            elif isinstance(item, AggregateLiteral):
+                children.append(
+                    Derivation(item.substitute(solution), note="aggregate")
+                )
+        return children
+
+
+def explain(program, atom, result=None):
+    """Build a :class:`Derivation` for a ground atom, or None.
+
+    Args:
+        program: the program that was (or will be) evaluated.
+        atom: the ground atom to explain.
+        result: a prior :class:`EvaluationResult` to reuse; evaluated
+            fresh when omitted.
+    """
+    if not atom.is_ground():
+        raise EvaluationError("can only explain ground atoms, got %s" % atom)
+    if result is None:
+        result = evaluate(program)
+    explainer = _Explainer(program, result.store)
+    return explainer.explain(atom, frozenset())

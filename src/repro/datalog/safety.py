@@ -1,0 +1,155 @@
+"""Safety (range restriction) analysis for rules.
+
+A rule is *safe* when every variable it uses can be bound by the time it
+is needed:
+
+* head variables must be limited — bound by a positive body literal, an
+  ``=`` chain to a constant/limited variable, an ``is`` assignment over
+  limited variables, or an aggregate result/grouping variable;
+* variables under negation must be limited by the positive part;
+* non-``=`` comparisons and arithmetic need all their variables limited;
+* inside an aggregate subgoal the value and grouping variables must be
+  limited by the subgoal's own positive part (the subgoal is evaluated
+  as its own little rule body).
+
+The check runs before evaluation; unsafe rules raise
+:class:`~repro.errors.SafetyError` with a message naming the offending
+variables, which keeps mistakes in hand-written mediator rules easy to
+diagnose.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from ..errors import SafetyError
+from .ast import AggregateLiteral, Assignment, Comparison, Literal, Rule
+from .terms import Const, Struct, Term, Var
+
+
+def _term_vars(term):
+    return set(term.variables())
+
+
+def _limited_variables(body):
+    """Compute the limited-variable set of a body by fixpoint.
+
+    Starts from variables of positive literals and aggregate outputs,
+    then propagates through ``=`` comparisons and ``is`` assignments
+    until stable.
+    """
+    limited: Set[Var] = set()
+    for item in body:
+        if isinstance(item, Literal) and item.positive:
+            limited |= set(item.atom.variables())
+        elif isinstance(item, AggregateLiteral):
+            # Grouping variables are bound by the grouped solutions and
+            # the result is bound by the aggregate itself.
+            limited |= _term_vars(item.result)
+            for g in item.group_by:
+                limited |= _term_vars(g)
+    changed = True
+    while changed:
+        changed = False
+        for item in body:
+            if isinstance(item, Comparison) and item.op == "=":
+                left_vars = _term_vars(item.left)
+                right_vars = _term_vars(item.right)
+                if item.left.is_ground() or left_vars <= limited:
+                    if not right_vars <= limited:
+                        limited |= right_vars
+                        changed = True
+                if item.right.is_ground() or right_vars <= limited:
+                    if not left_vars <= limited:
+                        limited |= left_vars
+                        changed = True
+            elif isinstance(item, Assignment):
+                if _term_vars(item.expr) <= limited:
+                    target_vars = _term_vars(item.target)
+                    if not target_vars <= limited:
+                        limited |= target_vars
+                        changed = True
+    return limited
+
+
+def check_rule_safety(rule):
+    """Validate one rule; raises :class:`SafetyError` on violation."""
+    limited = _limited_variables(rule.body)
+
+    head_vars = set(rule.head.variables())
+    unbound_head = head_vars - limited
+    if unbound_head:
+        raise SafetyError(
+            "unsafe rule %s: head variables %s are not range-restricted"
+            % (rule, _names(unbound_head))
+        )
+
+    for item in rule.body:
+        if isinstance(item, Literal) and not item.positive:
+            neg_vars = set(item.atom.variables())
+            free = {v for v in neg_vars - limited if not v.is_anonymous}
+            if free:
+                raise SafetyError(
+                    "unsafe rule %s: variables %s occur only under negation"
+                    % (rule, _names(free))
+                )
+        elif isinstance(item, Comparison) and item.op != "=":
+            cmp_vars = set(item.variables())
+            free = cmp_vars - limited
+            if free:
+                raise SafetyError(
+                    "unsafe rule %s: comparison %s uses unbound variables %s"
+                    % (rule, item, _names(free))
+                )
+        elif isinstance(item, Assignment):
+            free = _term_vars(item.expr) - limited
+            if free:
+                raise SafetyError(
+                    "unsafe rule %s: arithmetic %s uses unbound variables %s"
+                    % (rule, item, _names(free))
+                )
+        elif isinstance(item, AggregateLiteral):
+            _check_aggregate_safety(rule, item)
+
+
+def _check_aggregate_safety(rule, agg):
+    inner_limited = _limited_variables(agg.body)
+    value_vars = _term_vars(agg.value)
+    free_value = value_vars - inner_limited
+    if free_value:
+        raise SafetyError(
+            "unsafe rule %s: aggregate value variables %s not bound by "
+            "the aggregate body" % (rule, _names(free_value))
+        )
+    for g in agg.group_by:
+        free_group = _term_vars(g) - inner_limited
+        if free_group:
+            raise SafetyError(
+                "unsafe rule %s: aggregate grouping variables %s not bound "
+                "by the aggregate body" % (rule, _names(free_group))
+            )
+    if not isinstance(agg.result, Var):
+        raise SafetyError(
+            "unsafe rule %s: aggregate result %s must be a variable"
+            % (rule, agg.result)
+        )
+    for item in agg.body:
+        if isinstance(item, Literal) and not item.positive:
+            raise SafetyError(
+                "unsafe rule %s: negation inside aggregate subgoals is not "
+                "supported" % rule
+            )
+        if isinstance(item, AggregateLiteral):
+            raise SafetyError(
+                "unsafe rule %s: nested aggregates are not supported" % rule
+            )
+
+
+def check_program_safety(program):
+    """Validate every rule of a program."""
+    for rule in program:
+        check_rule_safety(rule)
+
+
+def _names(variables):
+    return ", ".join(sorted(v.name for v in variables))

@@ -1,0 +1,149 @@
+"""Predicate dependency analysis and stratification.
+
+Builds the dependency graph over relation signatures: an edge
+``head -> body`` for every body reference, labelled *negative* when the
+reference is under ``not`` and *aggregated* when it occurs inside an
+aggregate subgoal (aggregation behaves like negation for stratification
+purposes: the aggregated relation must be fully computed first).
+
+A program is *stratifiable* when no negative/aggregated edge lies inside
+a strongly connected component.  Stratified programs are split into an
+ordered list of strata (each a set of signatures) evaluated bottom-up;
+programs with negation through recursion fall back to the well-founded
+evaluation, and aggregation through recursion is rejected outright.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+import networkx as nx
+
+from ..errors import StratificationError
+from .ast import AggregateLiteral, Literal, Program
+
+Signature = Tuple[str, int]
+
+
+class DependencyInfo:
+    """Result of dependency analysis over a program."""
+
+    def __init__(self, graph, negative_edges, aggregate_edges):
+        self.graph = graph
+        self.negative_edges = negative_edges
+        self.aggregate_edges = aggregate_edges
+
+    def condensation(self):
+        return nx.condensation(self.graph)
+
+
+def build_dependency_graph(program):
+    """Construct the signature-level dependency graph of `program`."""
+    graph = nx.DiGraph()
+    negative_edges: Set[Tuple[Signature, Signature]] = set()
+    aggregate_edges: Set[Tuple[Signature, Signature]] = set()
+
+    for rule in program:
+        head_sig = rule.head.signature
+        graph.add_node(head_sig)
+        for item in rule.body:
+            if isinstance(item, Literal):
+                dep = item.atom.signature
+                graph.add_edge(head_sig, dep)
+                if not item.positive:
+                    negative_edges.add((head_sig, dep))
+            elif isinstance(item, AggregateLiteral):
+                for inner in item.body:
+                    if isinstance(inner, Literal):
+                        dep = inner.atom.signature
+                        graph.add_edge(head_sig, dep)
+                        aggregate_edges.add((head_sig, dep))
+    return DependencyInfo(graph, negative_edges, aggregate_edges)
+
+
+def stratify(program):
+    """Compute strata for `program`.
+
+    Returns a list of sets of signatures, ordered bottom-up: stratum 0
+    must be evaluated first.  Raises :class:`StratificationError` when a
+    negative or aggregated dependency is recursive.  Callers that can
+    handle recursive *negation* (via the well-founded semantics) should
+    catch the error and inspect :func:`is_aggregate_stratified` first.
+    """
+    info = build_dependency_graph(program)
+    scc_of: Dict[Signature, int] = {}
+    condensed = info.condensation()
+    for scc_id, data in condensed.nodes(data=True):
+        for sig in data["members"]:
+            scc_of[sig] = scc_id
+
+    for head_sig, dep_sig in info.negative_edges:
+        if scc_of[head_sig] == scc_of[dep_sig]:
+            raise StratificationError(
+                "negation through recursion: %s/%d depends negatively on "
+                "%s/%d inside a cycle"
+                % (head_sig[0], head_sig[1], dep_sig[0], dep_sig[1])
+            )
+    for head_sig, dep_sig in info.aggregate_edges:
+        if scc_of[head_sig] == scc_of[dep_sig]:
+            raise StratificationError(
+                "aggregation through recursion: %s/%d aggregates over "
+                "%s/%d inside a cycle"
+                % (head_sig[0], head_sig[1], dep_sig[0], dep_sig[1])
+            )
+
+    # Topological order of the condensation gives evaluation order from
+    # the leaves up: dependencies come last in nx.condensation's edge
+    # direction (head -> body), so reverse the topological sort.
+    order = list(reversed(list(nx.topological_sort(condensed))))
+    strata: List[Set[Signature]] = []
+    for scc_id in order:
+        members = set(condensed.nodes[scc_id]["members"])
+        strata.append(members)
+    return _merge_independent_strata(strata, info)
+
+
+def _merge_independent_strata(strata, info):
+    """Collapse consecutive strata with no cross negative/aggregate edges.
+
+    Evaluating fewer, larger strata lets semi-naive iteration share work;
+    correctness only requires that negative/aggregated dependencies point
+    to strictly earlier strata.
+    """
+    special = info.negative_edges | info.aggregate_edges
+    merged: List[Set[Signature]] = []
+    for stratum in strata:
+        if merged:
+            candidate = merged[-1]
+            conflict = any(
+                (head, dep) in special
+                for head in stratum
+                for dep in candidate
+            )
+            if not conflict:
+                candidate |= stratum
+                continue
+        merged.append(set(stratum))
+    return merged
+
+
+def is_aggregate_stratified(program):
+    """True when no aggregate edge is recursive (negation may still be)."""
+    info = build_dependency_graph(program)
+    condensed = info.condensation()
+    scc_of: Dict[Signature, int] = {}
+    for scc_id, data in condensed.nodes(data=True):
+        for sig in data["members"]:
+            scc_of[sig] = scc_id
+    return all(
+        scc_of[head] != scc_of[dep] for head, dep in info.aggregate_edges
+    )
+
+
+def is_stratifiable(program):
+    """True when the program has no negation/aggregation through recursion."""
+    try:
+        stratify(program)
+    except StratificationError:
+        return False
+    return True

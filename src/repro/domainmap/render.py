@@ -1,0 +1,86 @@
+"""Rendering domain maps (the Figure 1 / Figure 3 drawings).
+
+The KIND prototype generated "DM graphs for the user interface"; here we
+emit Graphviz DOT and a deterministic ASCII listing.  Figure 1's drawing
+conventions are followed: unlabeled gray edges are isa, role edges carry
+their role name, (all) edges are labeled ``ALL: role``, equivalence is
+``=``, and AND/OR junctions are drawn as small labeled nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .model import ALL, AND, EQV, EX, ISA, OR, DomainMap, _is_synthetic
+
+
+def _dot_escape(name):
+    return name.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(dm, highlight=(), rankdir="BT"):
+    """Render the domain map as Graphviz DOT.
+
+    `highlight` names concepts to draw dark (Figure 3 draws newly
+    registered concepts dark).
+    """
+    highlight = set(highlight)
+    lines = [
+        "digraph %s {" % _dot_escape(dm.name).replace(" ", "_"),
+        '  rankdir=%s;' % rankdir,
+        '  node [shape=box, fontname="Helvetica"];',
+    ]
+    edges = dm.edges()
+    nodes = set(dm.concepts)
+    for edge in edges:
+        nodes.add(edge.src)
+        nodes.add(edge.dst)
+    for node in sorted(nodes):
+        attrs = []
+        if _is_synthetic(node):
+            kind = "AND" if node.startswith("AND#") else "OR"
+            attrs.append('label="%s"' % kind)
+            attrs.append("shape=diamond")
+        else:
+            attrs.append('label="%s"' % _dot_escape(node))
+        if node in highlight:
+            attrs.append("style=filled")
+            attrs.append('fillcolor="gray25"')
+            attrs.append('fontcolor="white"')
+        lines.append('  "%s" [%s];' % (_dot_escape(node), ", ".join(attrs)))
+    for edge in edges:
+        attrs = []
+        label = edge.label()
+        if label:
+            attrs.append('label="%s"' % _dot_escape(label))
+        if edge.kind == ISA:
+            attrs.append('color="gray60"')
+        if edge.kind == EQV:
+            attrs.append("dir=both")
+        lines.append(
+            '  "%s" -> "%s" [%s];'
+            % (_dot_escape(edge.src), _dot_escape(edge.dst), ", ".join(attrs))
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_text(dm):
+    """A deterministic one-edge-per-line listing (used by the Figure 1
+    benchmark output)."""
+    lines = [
+        "domain map %s (%d concepts, %d roles)"
+        % (dm.name, len(dm.concepts), len(dm.roles))
+    ]
+    for edge in sorted(dm.edges(), key=lambda e: e.as_tuple()):
+        label = edge.label() or "isa"
+        lines.append("  %-28s -[%s]-> %s" % (edge.src, label, edge.dst))
+    return "\n".join(lines)
+
+
+def edge_census(dm):
+    """Edge counts per kind (drawing sanity checks in benches)."""
+    census = {}
+    for edge in dm.edges():
+        census[edge.kind] = census.get(edge.kind, 0) + 1
+    return dict(sorted(census.items()))

@@ -1,0 +1,177 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Sub-hierarchies mirror the
+package layout: the Datalog engine, the F-logic layer, the GCM, domain
+maps, the XML transport, and the mediator each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Datalog engine
+# ---------------------------------------------------------------------------
+
+class DatalogError(ReproError):
+    """Base class for errors raised by the Datalog engine."""
+
+
+class ParseError(DatalogError):
+    """A textual program or query could not be parsed.
+
+    Attributes:
+        text: the offending input.
+        position: character offset where the error was detected.
+        line: 1-based line number of the error.
+        column: 1-based column number of the error.
+    """
+
+    def __init__(self, message, text=None, position=None):
+        self.text = text
+        self.position = position
+        self.line = None
+        self.column = None
+        if text is not None and position is not None:
+            prefix = text[:position]
+            self.line = prefix.count("\n") + 1
+            self.column = position - (prefix.rfind("\n") + 1) + 1
+            message = "%s (line %d, column %d)" % (message, self.line, self.column)
+        super().__init__(message)
+
+
+class SafetyError(DatalogError):
+    """A rule violates range restriction / negation or aggregate safety."""
+
+
+class StratificationError(DatalogError):
+    """A program cannot be stratified (e.g. aggregation through recursion)."""
+
+
+class EvaluationError(DatalogError):
+    """A runtime failure during bottom-up evaluation (e.g. a builtin was
+    called with unbound arguments that it requires to be bound)."""
+
+
+# ---------------------------------------------------------------------------
+# F-logic layer
+# ---------------------------------------------------------------------------
+
+class FLogicError(ReproError):
+    """Base class for errors raised by the F-logic front end."""
+
+
+class FLogicParseError(FLogicError, ParseError):
+    """An F-logic program or query could not be parsed."""
+
+
+class FLogicTranslationError(FLogicError):
+    """An F-logic construct has no Datalog translation."""
+
+
+# ---------------------------------------------------------------------------
+# GCM
+# ---------------------------------------------------------------------------
+
+class GCMError(ReproError):
+    """Base class for errors raised by the generic conceptual model."""
+
+
+class SchemaError(GCMError):
+    """A CM schema declaration is malformed or inconsistent."""
+
+
+class ConstraintViolation(GCMError):
+    """Raised (on request) when integrity checking finds `ic` witnesses.
+
+    Attributes:
+        witnesses: the failure-witness facts that were derived into `ic`.
+    """
+
+    def __init__(self, message, witnesses=()):
+        super().__init__(message)
+        self.witnesses = tuple(witnesses)
+
+
+# ---------------------------------------------------------------------------
+# Domain maps
+# ---------------------------------------------------------------------------
+
+class DomainMapError(ReproError):
+    """Base class for domain-map errors."""
+
+
+class UnknownConceptError(DomainMapError):
+    """A concept name was used that is not declared in the domain map."""
+
+
+class UnknownRoleError(DomainMapError):
+    """A role name was used that is not declared in the domain map."""
+
+
+class UndecidableFragmentError(DomainMapError):
+    """Reasoning was requested outside the restricted decidable fragment.
+
+    The paper's Proposition 1 shows subsumption and satisfiability are
+    undecidable for unrestricted GCM domain maps; the reasoner only
+    accepts the structural fragment and raises this error otherwise.
+    """
+
+
+class NoUpperBoundError(DomainMapError):
+    """`lub` was requested for concepts with no common isa-ancestor."""
+
+
+# ---------------------------------------------------------------------------
+# XML transport / CM plug-ins
+# ---------------------------------------------------------------------------
+
+class XMLTransportError(ReproError):
+    """Base class for XML wire-format errors."""
+
+
+class PluginError(XMLTransportError):
+    """A CM plug-in translator is malformed or failed to apply."""
+
+
+# ---------------------------------------------------------------------------
+# Sources & wrappers
+# ---------------------------------------------------------------------------
+
+class SourceError(ReproError):
+    """Base class for source/wrapper errors."""
+
+
+class CapabilityError(SourceError):
+    """A query was sent to a source that its declared capabilities
+    cannot answer (e.g. an unsupported binding pattern)."""
+
+
+class RelStoreError(SourceError):
+    """An error in the in-memory relational store (unknown table/column,
+    arity mismatch, duplicate key, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Mediator
+# ---------------------------------------------------------------------------
+
+class MediatorError(ReproError):
+    """Base class for mediator errors."""
+
+
+class RegistrationError(MediatorError):
+    """A source registration message was rejected."""
+
+
+class PlanningError(MediatorError):
+    """No executable plan exists for a query (e.g. no source can supply
+    bindings required by another source's binding pattern)."""
+
+
+class ViewError(MediatorError):
+    """An integrated view definition is malformed."""

@@ -1,0 +1,91 @@
+"""F-logic front end: the paper's concrete GCM formalism.
+
+The paper adopts F-logic (Kifer-Lausen-Wu) as the generic conceptual
+model because it "natively contains all of the above-mentioned GCM
+concepts" (Section 3).  This package implements the Table 1 fragment —
+is-a, subclass, signature and data frames — plus rules with conjunctive
+heads, negated conjunctions, aggregates, and nonmonotonic value
+inheritance, all compiled onto :mod:`repro.datalog`.
+
+Quick use::
+
+    from repro.flogic import FLogicEngine
+
+    engine = FLogicEngine()
+    engine.tell('''
+        neuron[has => compartment].
+        axon :: compartment.  dendrite :: compartment.
+        purkinje_cell :: neuron.
+        p1 : purkinje_cell.
+    ''')
+    engine.ask("p1 : neuron")          # [{}] — nonempty: it holds
+    engine.ask("C :: compartment")     # bindings for C
+"""
+
+from .ast import (
+    ARROW_DEFAULT,
+    ARROW_MULTI,
+    ARROW_SCALAR,
+    ARROW_SIG_MULTI,
+    ARROW_SIG_SCALAR,
+    FLAggregate,
+    FLAssignment,
+    FLComparison,
+    FLNegation,
+    FLPredicate,
+    FLRule,
+    MethodSpec,
+    Molecule,
+)
+from .axioms import (
+    all_axioms,
+    core_axioms,
+    signature_inheritance_axioms,
+    value_inheritance_axioms,
+)
+from .engine import FLogicEngine
+from .parser import parse_fl_body, parse_fl_program, parse_fl_rule
+from .translate import (
+    PRED_CLASS,
+    PRED_DEFAULT_VAL,
+    PRED_INSTANCE,
+    PRED_METHOD,
+    PRED_METHOD_INST,
+    PRED_METHOD_VAL,
+    PRED_SUBCLASS,
+    Translator,
+    molecule_atoms,
+)
+
+__all__ = [
+    "ARROW_DEFAULT",
+    "ARROW_MULTI",
+    "ARROW_SCALAR",
+    "ARROW_SIG_MULTI",
+    "ARROW_SIG_SCALAR",
+    "FLAggregate",
+    "FLAssignment",
+    "FLComparison",
+    "FLNegation",
+    "FLPredicate",
+    "FLRule",
+    "FLogicEngine",
+    "MethodSpec",
+    "Molecule",
+    "PRED_CLASS",
+    "PRED_DEFAULT_VAL",
+    "PRED_INSTANCE",
+    "PRED_METHOD",
+    "PRED_METHOD_INST",
+    "PRED_METHOD_VAL",
+    "PRED_SUBCLASS",
+    "Translator",
+    "all_axioms",
+    "core_axioms",
+    "molecule_atoms",
+    "parse_fl_body",
+    "parse_fl_program",
+    "parse_fl_rule",
+    "signature_inheritance_axioms",
+    "value_inheritance_axioms",
+]

@@ -1,0 +1,199 @@
+"""The F-logic engine facade.
+
+:class:`FLogicEngine` is the deductive engine of the reproduction —
+the stand-in for FLORA/FLORID in the paper's prototype.  It accepts
+knowledge in F-logic syntax (or raw Datalog), maintains the translated
+rule base together with the Table 1 axioms, and answers queries.
+
+Value-inheritance axioms are only linked in when some ``*->`` default
+exists in the knowledge base: they are the one axiom group that can make
+programs non-stratifiable (intentionally — the paper resolves such
+programs with the well-founded semantics), so keeping them out of
+default-free programs preserves cheap stratified evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..datalog.ast import Atom, Program, Rule
+from ..datalog.engine import EvaluationResult, evaluate
+from ..datalog.parser import parse_program as parse_datalog
+from ..datalog.terms import Const, Term, Var, substitute, term_sort_key
+from .ast import FLRule
+from .axioms import core_axioms, signature_inheritance_axioms, value_inheritance_axioms
+from .parser import parse_fl_body, parse_fl_program
+from .translate import PRED_DEFAULT_VAL, Translator
+
+
+class FLogicEngine:
+    """An incremental F-logic knowledge base over the Datalog engine."""
+
+    def __init__(self, signature_inheritance=True):
+        self._rules: List[Rule] = []
+        self._signature_inheritance = signature_inheritance
+        self._result: Optional[EvaluationResult] = None
+        self._translator = Translator()
+
+    # -- loading knowledge ------------------------------------------------
+
+    def tell(self, fl_text):
+        """Parse and add F-logic source text."""
+        self.tell_fl_rules(parse_fl_program(fl_text))
+        return self
+
+    def tell_fl_rules(self, fl_rules):
+        """Add already-parsed F-logic rules."""
+        self._add_rules(self._translator.translate_rules(list(fl_rules)))
+        return self
+
+    def tell_datalog(self, text_or_program):
+        """Add raw Datalog clauses (text or a Program/rule iterable)."""
+        if isinstance(text_or_program, str):
+            rules = list(parse_datalog(text_or_program))
+        else:
+            rules = list(text_or_program)
+        self._add_rules(rules)
+        return self
+
+    def tell_rules(self, rules):
+        """Add Datalog :class:`Rule` objects directly."""
+        self._add_rules(list(rules))
+        return self
+
+    def add_fact(self, pred, *args):
+        """Add one ground Datalog fact."""
+        self._add_rules([Rule(Atom(pred, args))])
+        return self
+
+    def _add_rules(self, rules):
+        if rules:
+            self._rules.extend(rules)
+            self._result = None
+
+    # -- evaluation ---------------------------------------------------------
+
+    @property
+    def rules(self):
+        return tuple(self._rules)
+
+    def _uses_defaults(self):
+        return any(
+            rule.head.pred == PRED_DEFAULT_VAL for rule in self._rules
+        )
+
+    def _assemble(self, extra_rules=()):
+        program = Program()
+        program.extend(self._rules)
+        program.extend(core_axioms())
+        if self._signature_inheritance:
+            program.extend(signature_inheritance_axioms())
+        if self._uses_defaults():
+            program.extend(value_inheritance_axioms())
+        program.extend(extra_rules)
+        return program
+
+    def evaluate(self):
+        """Evaluate the knowledge base; results are cached until the
+        next `tell`."""
+        if self._result is None:
+            self._result = evaluate(self._assemble())
+        return self._result
+
+    @property
+    def store(self):
+        return self.evaluate().store
+
+    # -- queries ----------------------------------------------------------
+
+    def ask(self, query_text):
+        """Answer an F-logic query conjunction.
+
+        Returns a deterministically ordered list of bindings (dicts from
+        variable name to Python value / term), one per answer.  Example::
+
+            engine.ask("X : neuron[has -> C]")
+        """
+        fl_items = parse_fl_body(query_text)
+        body, aux_rules = self._translator.translate_body(fl_items)
+        answer_vars = sorted(
+            {
+                v
+                for item in body
+                for v in item.variables()
+                if not v.is_anonymous and not v.name.startswith("_fl")
+            },
+            key=lambda v: v.name,
+        )
+        goal = Atom("_query", tuple(answer_vars))
+        query_rule = Rule(goal, tuple(body))
+        program = self._assemble(extra_rules=list(aux_rules) + [query_rule])
+        result = evaluate(program)
+        bindings = []
+        for args in result.store.rows(goal.signature):
+            binding = {}
+            for variable, value in zip(answer_vars, args):
+                binding[variable.name] = (
+                    value.value if isinstance(value, Const) else value
+                )
+            bindings.append(binding)
+        bindings.sort(
+            key=lambda b: [
+                (name, _sort_key(value)) for name, value in sorted(b.items())
+            ]
+        )
+        return bindings
+
+    def holds(self, query_text):
+        """True when the query has at least one answer."""
+        return bool(self.ask(query_text))
+
+    def explain(self, query_text):
+        """A derivation tree for one ground F-logic fact, or None.
+
+        The query must translate to a single ground atom, e.g.
+        ``"p1 : neuron"`` or ``"p1[age -> 12]"``.
+        """
+        from ..datalog.ast import Literal
+        from ..datalog.provenance import explain as datalog_explain
+
+        fl_items = parse_fl_body(query_text)
+        body, aux_rules = self._translator.translate_body(fl_items)
+        if aux_rules or len(body) != 1 or not isinstance(body[0], Literal):
+            raise ValueError(
+                "explain() takes a single positive ground fact, got %r"
+                % query_text
+            )
+        atom = body[0].atom
+        if not atom.is_ground():
+            raise ValueError("explain() needs a ground fact, got %s" % atom)
+        return datalog_explain(self._assemble(), atom, result=self.evaluate())
+
+    # -- introspection ------------------------------------------------------
+
+    def classes(self):
+        """All known classes (members of the metaclass)."""
+        return sorted(
+            {
+                args[0].value
+                for args in self.store.rows(("class", 1))
+                if isinstance(args[0], Const)
+            },
+            key=str,
+        )
+
+    def instances_of(self, class_name):
+        """All direct-or-inherited instances of a class."""
+        rows = self.ask("X : '%s'" % class_name)
+        return [row["X"] for row in rows]
+
+    def subclasses_of(self, class_name):
+        """All subclasses (reflexive-transitive) of a class."""
+        rows = self.ask("X :: '%s'" % class_name)
+        return [row["X"] for row in rows]
+
+
+def _sort_key(value):
+    if isinstance(value, Term):
+        return term_sort_key(value)
+    return (0, type(value).__name__, repr(value))

@@ -1,0 +1,81 @@
+"""Generic conceptual model (GCM): schemas, rules, integrity checking.
+
+Section 3 of the paper specifies the GCM as the meta-model every source
+CM is translated into: core expressions `instance` / `subclass` /
+`method` / `methodinst` / `relation`, a rule-based extension mechanism
+with well-founded semantics, and integrity constraints as denials that
+insert failure witnesses into the distinguished class `ic`.
+
+Quick use::
+
+    from repro.gcm import ConceptualModel, check
+    from repro.gcm.library import cardinality_constraint
+
+    cm = ConceptualModel("demo")
+    cm.add_class("neuron", methods={"location": "string"})
+    cm.add_class("axon")
+    cm.add_relation("has", [("whole", "neuron"), ("part", "axon")])
+    cm.add_instance("n1", "neuron")
+    cm.add_relation_instance("has", whole="n1", part="a1")
+    report = check(
+        cm.all_rules(),
+        [cardinality_constraint("has", 2, counted_position=0, exact=1)],
+    )
+    report.ok
+"""
+
+from .constraints import (
+    IC_CLASS,
+    Constraint,
+    ConstraintReport,
+    Witness,
+    check,
+    constraint_from_text,
+    witnesses_from_store,
+)
+from .library import (
+    cardinality_constraint,
+    existential_edge_constraint,
+    functional_dependency,
+    higher_order_bridge,
+    key_constraint,
+    partial_order_constraint,
+    partial_order_constraint_ho,
+    referential_constraint,
+    scalar_method_constraint,
+    universal_edge_constraint,
+    value_range_constraint,
+)
+from .model import (
+    PRED_RELATION_SIG,
+    ClassDef,
+    ConceptualModel,
+    MethodDef,
+    RelationDef,
+)
+
+__all__ = [
+    "IC_CLASS",
+    "PRED_RELATION_SIG",
+    "ClassDef",
+    "ConceptualModel",
+    "Constraint",
+    "ConstraintReport",
+    "MethodDef",
+    "RelationDef",
+    "Witness",
+    "cardinality_constraint",
+    "check",
+    "constraint_from_text",
+    "existential_edge_constraint",
+    "functional_dependency",
+    "higher_order_bridge",
+    "key_constraint",
+    "partial_order_constraint",
+    "partial_order_constraint_ho",
+    "referential_constraint",
+    "scalar_method_constraint",
+    "universal_edge_constraint",
+    "value_range_constraint",
+    "witnesses_from_store",
+]

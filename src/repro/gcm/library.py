@@ -1,0 +1,468 @@
+"""A library of reusable integrity-constraint generators.
+
+Covers the constraints the paper calls out:
+
+* :func:`partial_order_constraint` — Example 2: rules (1)-(3) testing
+  reflexivity, transitivity and antisymmetry of a relation over a
+  class, with `wrc`/`wtc`/`was` witnesses.
+* :func:`cardinality_constraint` — Example 3: role-cardinality bounds
+  via count aggregation, with `w_card_*` witnesses (the paper's
+  ``w6=1``/``w>2``).
+* :func:`scalar_method_constraint` — functionality of ``=>`` methods.
+* :func:`key_constraint` — key attributes over a class.
+* :func:`referential_constraint` — role fillers typed by their declared
+  class (inclusion dependency).
+* :func:`existential_edge_constraint` / :func:`universal_edge_constraint`
+  — Section 4's executable readings of domain-map edges as integrity
+  constraints (data completeness w.r.t. ``C -r-> D``).
+
+All generators build rule ASTs directly (no text formatting), so names
+with spaces — ubiquitous in the Neuroscience domain maps — are safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SchemaError
+from ..datalog.ast import AggregateLiteral, Atom, Comparison, Literal, Rule
+from ..datalog.terms import Const, Struct, Var
+from .constraints import IC_CLASS, Constraint
+
+
+def _ic_head(witness):
+    return Atom("instance", (witness, Const(IC_CLASS)))
+
+
+def _aux_name(prefix, *parts):
+    digest = hashlib.sha1("|".join(str(p) for p in parts).encode("utf-8")).hexdigest()
+    return "_%s_%s" % (prefix, digest[:10])
+
+
+def partial_order_constraint(relation_pred, class_name):
+    """Example 2: is `relation_pred` a partial order on `class_name`?
+
+    Generates the paper's three denials::
+
+        (1) wrc(C,R,X)     : ic :- X : C, not R(X,X).
+        (2) wtc(C,R,X,Z,Y) : ic :- X,Y,Z : C, R(X,Z), R(Z,Y), not R(X,Y).
+        (3) was(C,R,X,Y)   : ic :- X : C, R(X,Y), R(Y,X), X != Y.
+
+    Assigning ``subclass`` and the metaclass ``class`` to R and C tests
+    whether ``::`` is a partial order — schema-level reasoning.
+    """
+    c, r = Const(class_name), Const(relation_pred)
+    x, y, z = Var("X"), Var("Y"), Var("Z")
+
+    reflexivity = Rule(
+        _ic_head(Struct("wrc", (c, r, x))),
+        (
+            Literal(Atom("instance", (x, c))),
+            Literal(Atom(relation_pred, (x, x)), positive=False),
+        ),
+    )
+    transitivity = Rule(
+        _ic_head(Struct("wtc", (c, r, x, z, y))),
+        (
+            Literal(Atom("instance", (x, c))),
+            Literal(Atom("instance", (y, c))),
+            Literal(Atom("instance", (z, c))),
+            Literal(Atom(relation_pred, (x, z))),
+            Literal(Atom(relation_pred, (z, y))),
+            Literal(Atom(relation_pred, (x, y)), positive=False),
+        ),
+    )
+    antisymmetry = Rule(
+        _ic_head(Struct("was", (c, r, x, y))),
+        (
+            Literal(Atom("instance", (x, c))),
+            Literal(Atom(relation_pred, (x, y))),
+            Literal(Atom(relation_pred, (y, x))),
+            Comparison("!=", x, y),
+        ),
+    )
+    return Constraint(
+        "partial_order(%s on %s)" % (relation_pred, class_name),
+        [reflexivity, transitivity, antisymmetry],
+        "R is a partial order on C iff no wrc/wtc/was witness is derived",
+    )
+
+
+def higher_order_bridge(relation_preds):
+    """Reify binary relations so rules can quantify over them.
+
+    Example 2 uses R as a *relation variable* ("this example also shows
+    the power of schema reasoning in FL").  Plain Datalog has no
+    higher-order atoms, so the bridge materializes every listed binary
+    relation into ``rel2(name, X, Y)`` facts; rules may then bind the
+    relation name.
+    """
+    rules: List[Rule] = []
+    x, y = Var("X"), Var("Y")
+    for pred in relation_preds:
+        rules.append(
+            Rule(
+                Atom("rel2", (Const(pred), x, y)),
+                (Literal(Atom(pred, (x, y))),),
+            )
+        )
+        rules.append(Rule(Atom("rel2_name", (Const(pred),))))
+    return rules
+
+
+def partial_order_constraint_ho(relation_preds, class_name):
+    """Example 2 with R as a genuine variable over the bridged relations.
+
+    One rule set checks *every* listed relation against `class_name`,
+    quantifying over the relation name through ``rel2``; witnesses are
+    identical in shape to :func:`partial_order_constraint`.
+    """
+    c = Const(class_name)
+    r = Var("R")
+    x, y, z = Var("X"), Var("Y"), Var("Z")
+
+    reflexivity = Rule(
+        _ic_head(Struct("wrc", (c, r, x))),
+        (
+            Literal(Atom("rel2_name", (r,))),
+            Literal(Atom("instance", (x, c))),
+            Literal(Atom("rel2", (r, x, x)), positive=False),
+        ),
+    )
+    transitivity = Rule(
+        _ic_head(Struct("wtc", (c, r, x, z, y))),
+        (
+            Literal(Atom("instance", (x, c))),
+            Literal(Atom("instance", (y, c))),
+            Literal(Atom("instance", (z, c))),
+            Literal(Atom("rel2", (r, x, z))),
+            Literal(Atom("rel2", (r, z, y))),
+            Literal(Atom("rel2", (r, x, y)), positive=False),
+        ),
+    )
+    antisymmetry = Rule(
+        _ic_head(Struct("was", (c, r, x, y))),
+        (
+            Literal(Atom("instance", (x, c))),
+            Literal(Atom("rel2", (r, x, y))),
+            Literal(Atom("rel2", (r, y, x))),
+            Comparison("!=", x, y),
+        ),
+    )
+    rules = higher_order_bridge(relation_preds)
+    rules += [reflexivity, transitivity, antisymmetry]
+    return Constraint(
+        "partial_order_ho(%s on %s)" % (", ".join(relation_preds), class_name),
+        rules,
+        "every bridged relation must be a partial order on C",
+    )
+
+
+def cardinality_constraint(
+    relation_pred,
+    arity,
+    counted_position,
+    exact=None,
+    min_count=None,
+    max_count=None,
+    group_class=None,
+):
+    """Example 3: bound the count of one role per combination of the rest.
+
+    For the paper's ``has(neuron, axon)`` with card_A(N)=(N=1) and
+    card_B(N)=(N<=2)::
+
+        cardinality_constraint("has", 2, counted_position=0, exact=1)
+        cardinality_constraint("has", 2, counted_position=1, max_count=2)
+
+    `min_count` additionally requires a `group_class`: minimums must be
+    checked for every instance of the class playing the grouping role
+    (an absent group would otherwise silently satisfy the bound).  The
+    min form is only available for binary relations.
+    """
+    if sum(p is not None for p in (exact, min_count, max_count)) != 1:
+        raise SchemaError(
+            "specify exactly one of exact / min_count / max_count"
+        )
+    if not 0 <= counted_position < arity:
+        raise SchemaError("counted_position out of range")
+    r = Const(relation_pred)
+    args = tuple(Var("V%d" % i) for i in range(arity))
+    counted = args[counted_position]
+    group = tuple(a for i, a in enumerate(args) if i != counted_position)
+    n = Var("N")
+    count_literal = AggregateLiteral(
+        "count", n, counted, group, (Literal(Atom(relation_pred, args)),)
+    )
+    rules: List[Rule] = []
+    if exact is not None:
+        witness = Struct("w_card_neq", (r, Const(counted_position)) + group + (n,))
+        rules.append(
+            Rule(_ic_head(witness), (count_literal, Comparison("!=", n, Const(exact))))
+        )
+        description = "count of position %d per rest must equal %d" % (
+            counted_position,
+            exact,
+        )
+    elif max_count is not None:
+        witness = Struct("w_card_gt", (r, Const(counted_position)) + group + (n,))
+        rules.append(
+            Rule(
+                _ic_head(witness),
+                (count_literal, Comparison(">", n, Const(max_count))),
+            )
+        )
+        description = "count of position %d per rest must be <= %d" % (
+            counted_position,
+            max_count,
+        )
+    else:
+        if group_class is None:
+            raise SchemaError("min_count requires group_class")
+        if arity != 2:
+            raise SchemaError("min_count is only supported for binary relations")
+        group_var = group[0]
+        witness_low = Struct(
+            "w_card_lt", (r, Const(counted_position), group_var, n)
+        )
+        rules.append(
+            Rule(
+                _ic_head(witness_low),
+                (
+                    Literal(Atom("instance", (group_var, Const(group_class)))),
+                    count_literal,
+                    Comparison("<", n, Const(min_count)),
+                ),
+            )
+        )
+        # Groups with zero tuples never form an aggregate group: report
+        # them through an auxiliary "participates" predicate.
+        aux = _aux_name("cardmin", relation_pred, counted_position)
+        witness_zero = Struct(
+            "w_card_lt", (r, Const(counted_position), group_var, Const(0))
+        )
+        rules.append(Rule(Atom(aux, (group_var,)), (Literal(Atom(relation_pred, args)),)))
+        rules.append(
+            Rule(
+                _ic_head(witness_zero),
+                (
+                    Literal(Atom("instance", (group_var, Const(group_class)))),
+                    Literal(Atom(aux, (group_var,)), positive=False),
+                ),
+            )
+        )
+        description = "count of position %d per %s must be >= %d" % (
+            counted_position,
+            group_class,
+            min_count,
+        )
+    return Constraint(
+        "cardinality(%s pos %d)" % (relation_pred, counted_position),
+        rules,
+        description,
+    )
+
+
+def scalar_method_constraint(class_name, method):
+    """A ``=>`` (scalar) method may hold at most one value per object."""
+    c, m = Const(class_name), Const(method)
+    x, v, n = Var("X"), Var("V"), Var("N")
+    count_literal = AggregateLiteral(
+        "count",
+        n,
+        v,
+        (x,),
+        (Literal(Atom("method_val", (x, m, v))),),
+    )
+    rule = Rule(
+        _ic_head(Struct("w_scalar", (c, m, x, n))),
+        (
+            Literal(Atom("instance", (x, c))),
+            count_literal,
+            Comparison(">", n, Const(1)),
+        ),
+    )
+    return Constraint(
+        "scalar(%s.%s)" % (class_name, method),
+        [rule],
+        "scalar method must be single-valued",
+    )
+
+
+def key_constraint(class_name, key_methods):
+    """Distinct instances of `class_name` must differ on some key method."""
+    if not key_methods:
+        raise SchemaError("key constraint needs at least one method")
+    c = Const(class_name)
+    x, y = Var("X"), Var("Y")
+    body = [
+        Literal(Atom("instance", (x, c))),
+        Literal(Atom("instance", (y, c))),
+        Comparison("!=", x, y),
+    ]
+    for index, method in enumerate(key_methods):
+        value = Var("K%d" % index)
+        body.append(Literal(Atom("method_val", (x, Const(method), value))))
+        body.append(Literal(Atom("method_val", (y, Const(method), value))))
+    rule = Rule(
+        _ic_head(Struct("w_key", (c, x, y))),
+        tuple(body),
+    )
+    return Constraint(
+        "key(%s: %s)" % (class_name, ", ".join(key_methods)),
+        [rule],
+        "key attributes must be unique per instance",
+    )
+
+
+def value_range_constraint(class_name, method, allowed=None, minimum=None, maximum=None):
+    """A value constraint (Section 3's "cardinality constraints, value
+    constraints, functional dependencies"): method values must lie in an
+    enumerated set and/or a numeric interval."""
+    if allowed is None and minimum is None and maximum is None:
+        raise SchemaError("value constraint needs allowed/minimum/maximum")
+    c, m = Const(class_name), Const(method)
+    x, v = Var("X"), Var("V")
+    base = (
+        Literal(Atom("instance", (x, c))),
+        Literal(Atom("method_val", (x, m, v))),
+    )
+    rules: List[Rule] = []
+    if allowed is not None:
+        allowed = sorted(allowed, key=repr)
+        member_pred = _aux_name("allowed", class_name, method)
+        for value in allowed:
+            rules.append(Rule(Atom(member_pred, (Const(value),))))
+        rules.append(
+            Rule(
+                _ic_head(Struct("w_value", (c, m, x, v))),
+                base + (Literal(Atom(member_pred, (v,)), positive=False),),
+            )
+        )
+    if minimum is not None:
+        rules.append(
+            Rule(
+                _ic_head(Struct("w_value_low", (c, m, x, v))),
+                base + (Comparison("<", v, Const(minimum)),),
+            )
+        )
+    if maximum is not None:
+        rules.append(
+            Rule(
+                _ic_head(Struct("w_value_high", (c, m, x, v))),
+                base + (Comparison(">", v, Const(maximum)),),
+            )
+        )
+    return Constraint(
+        "value_range(%s.%s)" % (class_name, method),
+        rules,
+        "method values restricted to an enumeration / interval",
+    )
+
+
+def functional_dependency(class_name, determinants, dependent):
+    """A functional dependency over a class: objects agreeing on all
+    determinant methods must agree on the dependent method."""
+    if not determinants:
+        raise SchemaError("functional dependency needs determinants")
+    c = Const(class_name)
+    x, y = Var("X"), Var("Y")
+    v1, v2 = Var("V1"), Var("V2")
+    body = [
+        Literal(Atom("instance", (x, c))),
+        Literal(Atom("instance", (y, c))),
+    ]
+    for index, method in enumerate(determinants):
+        shared = Var("D%d" % index)
+        body.append(Literal(Atom("method_val", (x, Const(method), shared))))
+        body.append(Literal(Atom("method_val", (y, Const(method), shared))))
+    body.append(Literal(Atom("method_val", (x, Const(dependent), v1))))
+    body.append(Literal(Atom("method_val", (y, Const(dependent), v2))))
+    body.append(Comparison("!=", v1, v2))
+    rule = Rule(
+        _ic_head(Struct("w_fd", (c, Const(dependent), x, y))),
+        tuple(body),
+    )
+    return Constraint(
+        "fd(%s: %s -> %s)" % (class_name, ", ".join(determinants), dependent),
+        [rule],
+        "determinant methods functionally determine the dependent method",
+    )
+
+
+def referential_constraint(relation_pred, arity, position, class_name):
+    """Fillers of a relation position must be instances of their class."""
+    if not 0 <= position < arity:
+        raise SchemaError("position out of range")
+    args = tuple(Var("V%d" % i) for i in range(arity))
+    rule = Rule(
+        _ic_head(
+            Struct(
+                "w_ref",
+                (Const(relation_pred), Const(position), args[position]),
+            )
+        ),
+        (
+            Literal(Atom(relation_pred, args)),
+            Literal(
+                Atom("instance", (args[position], Const(class_name))),
+                positive=False,
+            ),
+        ),
+    )
+    return Constraint(
+        "referential(%s pos %d : %s)" % (relation_pred, position, class_name),
+        [rule],
+        "relation position must be typed by its declared class",
+    )
+
+
+def existential_edge_constraint(source_class, role, target_class):
+    """Section 4: the edge ``C -r-> D`` read as an integrity constraint.
+
+    ``w_{C,r,D}(X) : ic :- X : C, not (Y : D, r(X,Y))`` — useful when
+    the mediated object base must be *data-complete* w.r.t. the edge.
+    """
+    c, r, d = Const(source_class), Const(role), Const(target_class)
+    x, y = Var("X"), Var("Y")
+    aux = _aux_name("exwit", source_class, role, target_class)
+    witness_rule = Rule(
+        Atom(aux, (x,)),
+        (
+            Literal(Atom(role, (x, y))),
+            Literal(Atom("instance", (y, d))),
+        ),
+    )
+    denial = Rule(
+        _ic_head(Struct("w_edge", (c, r, d, x))),
+        (
+            Literal(Atom("instance", (x, c))),
+            Literal(Atom(aux, (x,)), positive=False),
+        ),
+    )
+    return Constraint(
+        "edge_complete(%s -%s-> %s)" % (source_class, role, target_class),
+        [witness_rule, denial],
+        "every C instance must have an r-successor in D",
+    )
+
+
+def universal_edge_constraint(source_class, role, target_class):
+    """The (all) edge ``C -ALL:r-> D`` as an integrity constraint:
+    every r-successor of a C instance must be in D."""
+    c, r, d = Const(source_class), Const(role), Const(target_class)
+    x, y = Var("X"), Var("Y")
+    denial = Rule(
+        _ic_head(Struct("w_all", (c, r, d, x, y))),
+        (
+            Literal(Atom("instance", (x, c))),
+            Literal(Atom(role, (x, y))),
+            Literal(Atom("instance", (y, d)), positive=False),
+        ),
+    )
+    return Constraint(
+        "edge_all(%s -ALL:%s-> %s)" % (source_class, role, target_class),
+        [denial],
+        "every r-successor of a C instance must be in D",
+    )

@@ -1,0 +1,67 @@
+"""The KIND Neuroscience scenario (Example 1, Example 4, Section 5).
+
+The paper's prototype mediates "real data coming from largely disjoint
+Neuroscience worlds".  This package rebuilds that setting with
+deterministic synthetic sources:
+
+* :mod:`repro.neuro.anatom` — the ANATOM domain map (Figures 1 and 3 +
+  the brain-region containment hierarchy),
+* :mod:`repro.neuro.synapse` — hippocampal spine morphometry,
+* :mod:`repro.neuro.ncmir` — cerebellar protein localization,
+* :mod:`repro.neuro.senselab` — neurotransmission pathways,
+* :mod:`repro.neuro.views` — ``protein_distribution`` and friends,
+* :mod:`repro.neuro.scenario` — the assembled mediator + the paper's
+  Section 5 query.
+"""
+
+from .anatom import (
+    FIGURE1_AXIOMS,
+    FIGURE3_AXIOMS,
+    FIGURE3_REGISTRATION,
+    REGION_AXIOMS,
+    build_anatom,
+    build_figure1,
+    build_figure3_base,
+)
+from .analysis import (
+    correlate_worlds,
+    protein_amount_by_compartment,
+    spine_length_by_condition,
+    spine_length_by_species_age,
+)
+from .anatom_source import build_anatom_source
+from .ncmir import build_ncmir
+from .senselab import build_senselab
+from .scenario import KindScenario, build_scenario, section5_query
+from .synapse import build_synapse
+from .views import (
+    calcium_binding_protein_view,
+    neurotransmission_paths_view,
+    protein_distribution_view,
+    spine_change_view,
+)
+
+__all__ = [
+    "FIGURE1_AXIOMS",
+    "FIGURE3_AXIOMS",
+    "FIGURE3_REGISTRATION",
+    "KindScenario",
+    "REGION_AXIOMS",
+    "build_anatom",
+    "build_anatom_source",
+    "build_figure1",
+    "build_figure3_base",
+    "build_ncmir",
+    "build_scenario",
+    "build_senselab",
+    "build_synapse",
+    "calcium_binding_protein_view",
+    "correlate_worlds",
+    "neurotransmission_paths_view",
+    "protein_amount_by_compartment",
+    "protein_distribution_view",
+    "section5_query",
+    "spine_change_view",
+    "spine_length_by_condition",
+    "spine_length_by_species_age",
+]

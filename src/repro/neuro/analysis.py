@@ -1,0 +1,64 @@
+"""Mediated analyses over the KIND scenario.
+
+The introduction motivates SYNAPSE with studying "how these
+measurements change across age and species under several experimental
+conditions", and the multiple-worlds story with correlating spine
+morphology (SYNAPSE) against calcium machinery (NCMIR).  These helpers
+run those analyses as *mediated* F-logic aggregate queries — nothing
+here touches a source directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+def spine_length_by_condition(mediator):
+    """Mean spine length per experimental condition (via the
+    `spine_change` view and an FL aggregate)."""
+    rows = mediator.ask(
+        "A = avg{L [C]; X : spine_change[condition -> C; length_um -> L]}"
+    )
+    return {row["C"]: row["A"] for row in rows}
+
+
+def spine_length_by_species_age(mediator):
+    """Mean spine length per (species, age) cell of the SYNAPSE sweep."""
+    rows = mediator.ask(
+        "A = avg{L [S, G]; X : reconstruction[species -> S; age_days -> G; "
+        "length_um -> L], X : 'Pyramidal_Spine'}"
+    )
+    return {(row["S"], row["G"]): row["A"] for row in rows}
+
+
+def protein_amount_by_compartment(mediator, ion="calcium"):
+    """Total measured amount of `ion`-binding proteins per anchored
+    compartment concept — the NCMIR world summarized through the DM."""
+    rows = mediator.ask(
+        "T = sum{A [C]; X : protein_amount[ion_bound -> %s; amount -> A], "
+        "anchor(X, C)}" % ion
+    )
+    return {row["C"]: row["T"] for row in rows}
+
+
+def correlate_worlds(mediator):
+    """Example 1's scientist workflow in one call.
+
+    Returns, per spine-bearing concept, the SYNAPSE morphometry (spine
+    count, mean length) and the NCMIR calcium-protein presence — the
+    "loose federation of correlated data" joined purely through the
+    domain map.
+    """
+    out: Dict[str, Dict] = {}
+    morphometry = mediator.ask(
+        "N = count{X [C]; X : reconstruction, anchor(X, C)}"
+    )
+    for row in morphometry:
+        out.setdefault(row["C"], {})["reconstructions"] = row["N"]
+    proteins = mediator.ask(
+        "N = count{P [C]; X : protein_amount[ion_bound -> calcium; "
+        "protein_name -> P], anchor(X, C)}"
+    )
+    for row in proteins:
+        out.setdefault(row["C"], {})["calcium_binding_proteins"] = row["N"]
+    return out

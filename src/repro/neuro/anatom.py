@@ -1,0 +1,109 @@
+"""ANATOM: the Neuroscience domain map of the KIND mediator.
+
+Three layers, all from the paper:
+
+* the **Figure 1** map built from Example 1's DL statements (SYNAPSE +
+  NCMIR knowledge: neurons, compartments, spines, ion-binding
+  proteins, neurotransmission),
+* the **Figure 3** fragment (medium spiny neurons, their projections
+  and expressed neurotransmitters — the registration example), and
+* the **brain-region containment hierarchy** the Section 5 query plan
+  navigates (Example 4 computes a protein distribution below
+  ``Cerebellum``; the paper's ANATOM source provides the
+  ``nervous_system`` containment tree).
+
+Region and cell-type names follow the paper; extra specializations
+(``Purkinje_Dendrite``, ``Parallel_Fiber``, ...) are the anchor points
+the three sources hang their data from.
+"""
+
+from __future__ import annotations
+
+from ..domainmap.model import DomainMap
+
+#: Example 1's domain knowledge as DL statements (Figure 1, verbatim).
+FIGURE1_AXIOMS = """
+Neuron < exists has.Compartment
+Axon < Compartment
+Dendrite < Compartment
+Soma < Compartment
+Spiny_Neuron = Neuron & exists has.Spine
+Purkinje_Cell < Spiny_Neuron
+Pyramidal_Cell < Spiny_Neuron
+Dendrite < exists has.Branch
+Shaft < Branch & exists has.Spine
+Spine < exists contains.Ion_Binding_Protein
+Spine < Ion_Regulating_Component
+Ion_Activity < exists subprocess_of.Neurotransmission
+Ion_Binding_Protein < Protein & exists controls.Ion_Activity
+Ion_Regulating_Component = exists regulates.Ion_Activity
+"""
+
+#: Figure 3's base map (before the MyNeuron/MyDendrite registration).
+FIGURE3_AXIOMS = """
+Medium_Spiny_Neuron < Spiny_Neuron
+Medium_Spiny_Neuron < exists proj.(Substantia_nigra_pr | Substantia_nigra_pc | Globus_Pallidus_External | Globus_Pallidus_Internal)
+Medium_Spiny_Neuron < exists exp.(GABA | Substance_P | Dopamine_R)
+GABA < Neurotransmitter
+Substance_P < Neurotransmitter
+Neostriatum < exists has.Medium_Spiny_Neuron
+"""
+
+#: The Figure 3 registration payload (what the new source sends).
+FIGURE3_REGISTRATION = """
+MyDendrite = Dendrite & exists exp.Dopamine_R
+MyNeuron < Medium_Spiny_Neuron & exists proj.Globus_Pallidus_External & all has.MyDendrite
+"""
+
+#: Brain-region containment (the ANATOM nervous_system hierarchy) and
+#: the cell-level anchor concepts of the KIND scenario.
+REGION_AXIOMS = """
+Nervous_System < exists has.Brain
+Brain < exists has.Cerebellum
+Brain < exists has.Hippocampus
+Brain < exists has.Neostriatum
+Cerebellum < exists has.Cerebellar_Cortex
+Cerebellar_Cortex < exists has.Purkinje_Cell
+Cerebellar_Cortex < exists has.Granule_Cell
+Hippocampus < exists has.CA1
+CA1 < exists has.Pyramidal_Cell
+Spine < Compartment
+Branch < Compartment
+Granule_Cell < Neuron
+Granule_Cell < exists has.Parallel_Fiber
+Parallel_Fiber < Axon
+Purkinje_Cell < exists has.Purkinje_Dendrite
+Purkinje_Cell < exists has.Purkinje_Soma
+Purkinje_Dendrite < Dendrite
+Purkinje_Dendrite < exists has.Purkinje_Spine
+Purkinje_Soma < Soma
+Purkinje_Spine < Spine
+Pyramidal_Cell < exists has.Pyramidal_Dendrite
+Pyramidal_Dendrite < Dendrite
+Pyramidal_Dendrite < exists has.Pyramidal_Spine
+Pyramidal_Spine < Spine
+"""
+
+
+def build_figure1():
+    """Just the Figure 1 domain map (Example 1's eleven statements)."""
+    dm = DomainMap("figure1")
+    dm.add_axioms(FIGURE1_AXIOMS)
+    return dm
+
+
+def build_figure3_base():
+    """The Figure 3 map before the MyNeuron/MyDendrite registration."""
+    dm = DomainMap("figure3")
+    dm.add_axioms(FIGURE1_AXIOMS)
+    dm.add_axioms(FIGURE3_AXIOMS)
+    return dm
+
+
+def build_anatom():
+    """The full ANATOM domain map used by the KIND scenario."""
+    dm = DomainMap("anatom")
+    dm.add_axioms(FIGURE1_AXIOMS)
+    dm.add_axioms(FIGURE3_AXIOMS)
+    dm.add_axioms(REGION_AXIOMS)
+    return dm

@@ -1,0 +1,170 @@
+"""The NCMIR source: subcellular protein localization (Example 1).
+
+"The NCMIR laboratory studies the Purkinje Cells of the cerebellum ...
+and localization of various proteins in neuron compartments.  The
+schema used by this group consists of a number of measurements of the
+dendrite branches (e.g., segment diameter) and the amount of different
+proteins found in each of these subdivisions."
+
+The synthetic generator is deterministic (seeded) and shaped after the
+paper: per-compartment amounts of calcium-binding proteins in rat
+Purkinje cells (Ryanodine Receptor, IP3 Receptor, Calbindin, ...),
+plus non-calcium controls so the ``ion_bound = calcium`` filter of the
+Section 5 query actually filters.  The ``location`` column uses the
+lab vocabulary (``"Purkinje Cell dendrite"`` — the paper's own example
+value) mapped onto ANATOM concepts by the wrapper's anchor attribute.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..sources import AnchorSpec, Column, QueryTemplate, RelStore, RoleLink, Wrapper
+
+#: lab vocabulary -> ANATOM concept (the anchor mapping)
+LOCATION_CONCEPTS = {
+    "Purkinje Cell": "Purkinje_Cell",
+    "Purkinje Cell dendrite": "Purkinje_Dendrite",
+    "Purkinje Cell soma": "Purkinje_Soma",
+    "Purkinje Cell spine": "Purkinje_Spine",
+    "Granule Cell": "Granule_Cell",
+}
+
+#: protein -> (bound ion, per-location mean amounts)
+PROTEIN_PROFILES = {
+    "Ryanodine Receptor": (
+        "calcium",
+        {
+            "Purkinje Cell dendrite": 8.0,
+            "Purkinje Cell soma": 3.0,
+            "Purkinje Cell spine": 5.0,
+        },
+    ),
+    "IP3 Receptor": (
+        "calcium",
+        {
+            "Purkinje Cell dendrite": 6.0,
+            "Purkinje Cell spine": 7.5,
+            "Purkinje Cell soma": 2.0,
+        },
+    ),
+    "Calbindin": (
+        "calcium",
+        {
+            "Purkinje Cell": 4.0,
+            "Purkinje Cell dendrite": 3.5,
+            "Purkinje Cell soma": 4.5,
+        },
+    ),
+    "Parvalbumin": (
+        "calcium",
+        {
+            "Purkinje Cell soma": 2.5,
+            "Purkinje Cell dendrite": 1.5,
+        },
+    ),
+    "GABA-A Receptor": (
+        "chloride",
+        {
+            "Purkinje Cell dendrite": 2.0,
+            "Purkinje Cell soma": 1.0,
+        },
+    ),
+    "Kv1.1 Channel": (
+        "potassium",
+        {
+            "Purkinje Cell soma": 1.8,
+            "Granule Cell": 1.2,
+        },
+    ),
+}
+
+ORGANISMS = ("rat", "mouse")
+
+
+def generate_rows(seed=2001, scale=1):
+    """Deterministic protein-amount rows: `scale` replicates per
+    (protein, location, organism) cell with seeded noise."""
+    rng = random.Random(seed)
+    rows: List[Dict] = []
+    row_id = 1
+    for protein in sorted(PROTEIN_PROFILES):
+        ion, profile = PROTEIN_PROFILES[protein]
+        for location in sorted(profile):
+            mean = profile[location]
+            for organism in ORGANISMS:
+                organism_factor = 1.0 if organism == "rat" else 0.8
+                for _replicate in range(scale):
+                    amount = round(
+                        max(0.1, rng.gauss(mean * organism_factor, mean * 0.1)),
+                        3,
+                    )
+                    rows.append(
+                        {
+                            "id": row_id,
+                            "protein": protein,
+                            "ion": ion,
+                            "location": location,
+                            "amount": amount,
+                            "organism": organism,
+                        }
+                    )
+                    row_id += 1
+    return rows
+
+
+def build_ncmir(seed=2001, scale=1):
+    """The wrapped NCMIR source."""
+    store = RelStore("NCMIR")
+    table = store.create_table(
+        "protein_amount",
+        [
+            Column("id", "int"),
+            Column("protein", "str"),
+            Column("ion", "str"),
+            Column("location", "str"),
+            Column("amount", "float"),
+            Column("organism", "str"),
+        ],
+        key="id",
+    )
+    table.insert_many(generate_rows(seed, scale))
+
+    wrapper = Wrapper("NCMIR", store)
+    wrapper.export_class(
+        "protein_amount",
+        "protein_amount",
+        "id",
+        methods={
+            "protein_name": "protein",
+            "ion_bound": "ion",
+            "location": "location",
+            "amount": "amount",
+            "organism": "organism",
+        },
+        anchor=AnchorSpec(column="location", mapping=LOCATION_CONCEPTS),
+        role_links=[
+            RoleLink("located_in", column="location", mapping=LOCATION_CONCEPTS)
+        ],
+        # the lab's query form accepts location/protein/organism bound;
+        # amounts and ions come back as data (ion filtering is mediator-side)
+        selectable={"location", "protein_name", "organism"},
+    )
+    wrapper.add_rule(
+        # the lab's own semantic rule: calcium binders form a class
+        "X : calcium_binding_protein_measurement :- "
+        "X : protein_amount[ion_bound -> calcium]."
+    )
+    wrapper.add_template(
+        "protein_amount",
+        QueryTemplate(
+            "by_min_amount",
+            ["min_amount"],
+            "all measurements with amount >= min_amount",
+        ),
+        lambda store, min_amount: store.select(
+            "protein_amount", predicate=lambda row: row["amount"] >= min_amount
+        ),
+    )
+    return wrapper

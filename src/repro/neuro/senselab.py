@@ -1,0 +1,115 @@
+"""The SENSELAB source: neurotransmission pathways (Section 5).
+
+The Section 5 query "is a typical query of a scientist who studies
+neurotransmission (and produces the data of SENSELAB)".  The class
+mirrors the paper's mediated schema::
+
+    neurotransmission[organism => string;
+                      transmitting_neuron => string;
+                      transmitting_compartment => string;
+                      receiving_neuron => string;
+                      receiving_compartment => string;
+                      neurotransmitter => string]
+
+Receiving neuron/compartment columns hold ANATOM concept names (the
+source uses the shared controlled vocabulary — its anchor mapping is
+the identity), while transmitting compartments use lab terms like
+``"parallel fiber"``.  The canonical cerebellar and hippocampal
+pathways are generated deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..sources import AnchorSpec, Column, RelStore, RoleLink, Wrapper
+
+#: canonical pathways: (transmitting neuron, transmitting compartment,
+#: receiving neuron concept, receiving compartment concept, transmitter)
+PATHWAYS = (
+    ("Granule Cell", "parallel fiber", "Purkinje_Cell", "Purkinje_Dendrite", "glutamate"),
+    ("Basket Cell", "basket cell axon", "Purkinje_Cell", "Purkinje_Soma", "GABA"),
+    ("CA3 Pyramidal Cell", "Schaffer collateral", "Pyramidal_Cell", "Pyramidal_Dendrite", "glutamate"),
+    ("Climbing Fiber Neuron", "climbing fiber", "Purkinje_Cell", "Purkinje_Dendrite", "aspartate"),
+)
+
+ORGANISMS = ("rat", "mouse", "human")
+
+
+def generate_rows(seed=2001, scale=1):
+    """One record per (pathway, organism), `scale` replicates."""
+    rng = random.Random(seed)
+    rows: List[Dict] = []
+    row_id = 1
+    for organism in ORGANISMS:
+        for pathway in PATHWAYS:
+            t_neuron, t_comp, r_neuron, r_comp, transmitter = pathway
+            for _replicate in range(scale):
+                rows.append(
+                    {
+                        "id": row_id,
+                        "organism": organism,
+                        "t_neuron": t_neuron,
+                        "t_compartment": t_comp,
+                        "r_neuron": r_neuron,
+                        "r_compartment": r_comp,
+                        "transmitter": transmitter,
+                        # a synthetic observable so numeric queries exist
+                        "epsp_mv": round(abs(rng.gauss(1.2, 0.3)), 3),
+                    }
+                )
+                row_id += 1
+    return rows
+
+
+def build_senselab(seed=2001, scale=1):
+    """The wrapped SENSELAB source."""
+    store = RelStore("SENSELAB")
+    table = store.create_table(
+        "neurotransmission",
+        [
+            Column("id", "int"),
+            Column("organism", "str"),
+            Column("t_neuron", "str"),
+            Column("t_compartment", "str"),
+            Column("r_neuron", "str"),
+            Column("r_compartment", "str"),
+            Column("transmitter", "str"),
+            Column("epsp_mv", "float"),
+        ],
+        key="id",
+    )
+    table.insert_many(generate_rows(seed, scale))
+
+    wrapper = Wrapper("SENSELAB", store)
+    wrapper.export_class(
+        "neurotransmission",
+        "neurotransmission",
+        "id",
+        methods={
+            "organism": "organism",
+            "transmitting_neuron": "t_neuron",
+            "transmitting_compartment": "t_compartment",
+            "receiving_neuron": "r_neuron",
+            "receiving_compartment": "r_compartment",
+            "neurotransmitter": "transmitter",
+            "epsp_mv": "epsp_mv",
+        },
+        anchor=AnchorSpec(column="r_compartment"),  # identity: shared vocabulary
+        role_links=[
+            RoleLink("received_at", column="r_compartment"),
+            RoleLink("received_by", column="r_neuron"),
+        ],
+        selectable={
+            "organism",
+            "transmitting_compartment",
+            "neurotransmitter",
+            "receiving_neuron",
+        },
+    )
+    wrapper.add_rule(
+        "X : excitatory_transmission :- "
+        "X : neurotransmission[neurotransmitter -> glutamate]."
+    )
+    return wrapper

@@ -1,0 +1,140 @@
+"""The SYNAPSE source: dendritic-spine morphometry (Example 1).
+
+"The first laboratory, SYNAPSE, studies dendritic spines of pyramidal
+cells in the hippocampus.  The primary schema elements are thus the
+anatomical entities that are reconstructed from 3-dimensional serial
+sections.  For each entity (e.g., spines, dendrites), researchers make
+a number of measurements, and study how these measurements change
+across age and species under several experimental conditions."
+
+The generator emits per-spine reconstructions (length, volume, PSD
+area) for hippocampal pyramidal cells across species / age /
+experimental condition, with the paper's own example ``location``
+value ``"Pyramidal Cell dendrite"``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..sources import AnchorSpec, Column, QueryTemplate, RelStore, RoleLink, Wrapper
+
+LOCATION_CONCEPTS = {
+    "Pyramidal Cell dendrite": "Pyramidal_Dendrite",
+    "Pyramidal Cell dendrite spine": "Pyramidal_Spine",
+    "Pyramidal Cell": "Pyramidal_Cell",
+}
+
+SPECIES = ("rat", "mouse")
+CONDITIONS = ("control", "enriched", "deprived")
+AGES = (14, 30, 90)
+
+#: mean spine length (um) by condition — enrichment grows spines
+_LENGTH_MEANS = {"control": 1.1, "enriched": 1.4, "deprived": 0.8}
+
+
+def generate_rows(seed=2001, scale=1):
+    """Deterministic spine reconstructions: `scale` spines per
+    (species, condition, age) cell."""
+    rng = random.Random(seed)
+    rows: List[Dict] = []
+    row_id = 1
+    for species in SPECIES:
+        for condition in CONDITIONS:
+            for age in AGES:
+                for _replicate in range(2 * scale):
+                    length = max(
+                        0.2, rng.gauss(_LENGTH_MEANS[condition], 0.25)
+                    )
+                    volume = round(0.12 * length**2 + rng.gauss(0, 0.01), 4)
+                    rows.append(
+                        {
+                            "id": row_id,
+                            "label": "spine-%04d" % row_id,
+                            "location": "Pyramidal Cell dendrite spine",
+                            "length_um": round(length, 3),
+                            "volume_um3": max(0.001, volume),
+                            "psd_area": round(abs(rng.gauss(0.07, 0.02)), 4),
+                            "age_days": age,
+                            "species": species,
+                            "condition": condition,
+                        }
+                    )
+                    row_id += 1
+                # one dendrite-segment record per cell of the sweep
+                rows.append(
+                    {
+                        "id": row_id,
+                        "label": "dend-%04d" % row_id,
+                        "location": "Pyramidal Cell dendrite",
+                        "length_um": round(abs(rng.gauss(40.0, 5.0)), 2),
+                        "volume_um3": round(abs(rng.gauss(12.0, 2.0)), 3),
+                        "psd_area": 0.0,
+                        "age_days": age,
+                        "species": species,
+                        "condition": condition,
+                    }
+                )
+                row_id += 1
+    return rows
+
+
+def build_synapse(seed=2001, scale=1):
+    """The wrapped SYNAPSE source."""
+    store = RelStore("SYNAPSE")
+    table = store.create_table(
+        "reconstruction",
+        [
+            Column("id", "int"),
+            Column("label", "str"),
+            Column("location", "str"),
+            Column("length_um", "float"),
+            Column("volume_um3", "float"),
+            Column("psd_area", "float"),
+            Column("age_days", "int"),
+            Column("species", "str"),
+            Column("condition", "str"),
+        ],
+        key="id",
+    )
+    table.insert_many(generate_rows(seed, scale))
+
+    wrapper = Wrapper("SYNAPSE", store)
+    wrapper.export_class(
+        "reconstruction",
+        "reconstruction",
+        "id",
+        methods={
+            "label": "label",
+            "location": "location",
+            "length_um": "length_um",
+            "volume_um3": "volume_um3",
+            "psd_area": "psd_area",
+            "age_days": "age_days",
+            "species": "species",
+            "condition": "condition",
+        },
+        anchor=AnchorSpec(column="location", mapping=LOCATION_CONCEPTS),
+        role_links=[
+            RoleLink("located_in", column="location", mapping=LOCATION_CONCEPTS)
+        ],
+        selectable={"location", "species", "condition", "age_days"},
+    )
+    wrapper.add_rule(
+        # spines over 2 standard deviations long are flagged by the lab
+        "X : large_spine :- X : reconstruction[length_um -> L], L > 1.6."
+    )
+    wrapper.add_template(
+        "reconstruction",
+        QueryTemplate(
+            "morphometry_sweep",
+            ["species", "condition"],
+            "all spine reconstructions of one sweep cell",
+        ),
+        lambda store, species, condition: store.select(
+            "reconstruction",
+            where={"species": species, "condition": condition},
+        ),
+    )
+    return wrapper

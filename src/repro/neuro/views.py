@@ -1,0 +1,77 @@
+"""The KIND mediated views (Example 4 / Section 5).
+
+* ``protein_distribution`` — Example 4's mediated class: per-protein
+  amount distributions over the ANATOM containment hierarchy, computed
+  by the recursive `aggregate`.
+* ``calcium_binding_protein`` — the Section 5 filter as a loose
+  federation view over NCMIR's exported class.
+* ``spine_change`` — a SYNAPSE-side view pairing morphometry with
+  experimental condition (the intro's "how measurements change ...
+  under several experimental conditions").
+"""
+
+from __future__ import annotations
+
+from ..core.views import DistributionView, IntegratedView
+
+
+def protein_distribution_view():
+    """Example 4's ``protein_distribution`` (grouped by protein name,
+    summing NCMIR amounts below a distribution root via has_a_star)."""
+    return DistributionView(
+        "protein_distribution",
+        source_class="protein_amount",
+        group_attr="protein_name",
+        value_attr="amount",
+        role="has",
+        func="sum",
+        description=(
+            "D : protein_distribution[protein_name -> Y; animal -> Z; "
+            "distribution_root -> P; distribution -> D] (Example 4)"
+        ),
+    )
+
+
+def calcium_binding_protein_view():
+    """Proteins that bind calcium (the Section 5 ion filter)."""
+    return IntegratedView(
+        "calcium_binding_protein",
+        fl_rules=(
+            "X : calcium_binding_protein :- "
+            "X : protein_amount[ion_bound -> calcium].\n"
+            "X[name -> N] :- X : calcium_binding_protein, "
+            "X : protein_amount[protein_name -> N].\n"
+        ),
+        description="NCMIR measurements of calcium-binding proteins",
+        depends_on=("protein_amount",),
+    )
+
+
+def spine_change_view():
+    """Spine morphometry paired with experimental condition."""
+    return IntegratedView(
+        "spine_change",
+        fl_rules=(
+            "X : spine_change[condition -> C; length_um -> L] :- "
+            "X : reconstruction[condition -> C; length_um -> L], "
+            "X : 'Pyramidal_Spine'.\n"
+        ),
+        description="per-condition spine morphometry (SYNAPSE)",
+        depends_on=("reconstruction",),
+    )
+
+
+def neurotransmission_paths_view():
+    """The mediated neurotransmission class of Section 5: a projection
+    of SENSELAB's export (loose federation — the mediated class simply
+    *is* the anchored source class)."""
+    return IntegratedView(
+        "neurotransmission_path",
+        fl_rules=(
+            "X : neurotransmission_path[from -> T; to -> R; via -> N] :- "
+            "X : neurotransmission[transmitting_neuron -> T; "
+            "receiving_neuron -> R; neurotransmitter -> N].\n"
+        ),
+        description="mediated neurotransmission pathways (SENSELAB)",
+        depends_on=("neurotransmission",),
+    )

@@ -1,0 +1,168 @@
+"""Query capability descriptions: the "logical API" of a wrapped source.
+
+Section 2: a source "transmits a description of its query capabilities
+to M, which is a (usually very limited) CM query language ... The query
+capability descriptions minimally specify means (e.g., primary keys)
+for browsing through all instances of exported classes and relations,
+and optionally declare further capabilities as *binding patterns* or
+*query templates* which allow the mediator to optimize query evaluation
+by pushing down subqueries."
+
+* :class:`BindingPattern` — which attribute combinations may arrive
+  bound (``b``) vs. free (``f``) in a pushed-down selection.
+* :class:`QueryTemplate` — a named, parameterized canned query.
+* :class:`ClassCapability` — the per-class bundle: key attributes for
+  browsing, binding patterns, templates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import CapabilityError
+
+
+class BindingPattern:
+    """A supported bound/free pattern over a class's ordered attributes.
+
+    ``pattern`` is a string over {'b', 'f'}; position i refers to
+    ``attributes[i]``.  A pushed selection is answerable by the pattern
+    when every selected attribute is 'b' in the pattern (a source that
+    accepts attribute X bound also accepts it free — the mediator can
+    always filter locally — so matching is "selected <= bound set").
+    """
+
+    __slots__ = ("attributes", "pattern")
+
+    def __init__(self, attributes, pattern):
+        self.attributes = tuple(attributes)
+        self.pattern = pattern
+        if len(self.attributes) != len(pattern):
+            raise CapabilityError(
+                "binding pattern %r does not match attributes %r"
+                % (pattern, self.attributes)
+            )
+        if set(pattern) - {"b", "f"}:
+            raise CapabilityError("binding pattern %r must be over b/f" % pattern)
+
+    @property
+    def bound_attributes(self):
+        return {
+            attribute
+            for attribute, flag in zip(self.attributes, self.pattern)
+            if flag == "b"
+        }
+
+    def accepts(self, selected_attributes):
+        return set(selected_attributes) <= self.bound_attributes
+
+    def __repr__(self):
+        return "BindingPattern(%r, %r)" % (self.attributes, self.pattern)
+
+
+class QueryTemplate:
+    """A named canned query with declared parameters.
+
+    The wrapper implements the template body; the capability record only
+    advertises its existence and signature to the mediator.
+    """
+
+    __slots__ = ("name", "parameters", "description")
+
+    def __init__(self, name, parameters, description=""):
+        self.name = name
+        self.parameters = tuple(parameters)
+        self.description = description
+
+    def check_arguments(self, arguments):
+        missing = set(self.parameters) - set(arguments)
+        extra = set(arguments) - set(self.parameters)
+        if missing or extra:
+            raise CapabilityError(
+                "template %r expects parameters %s (missing %s, extra %s)"
+                % (
+                    self.name,
+                    list(self.parameters),
+                    sorted(missing),
+                    sorted(extra),
+                )
+            )
+        return True
+
+    def __repr__(self):
+        return "QueryTemplate(%r, %r)" % (self.name, self.parameters)
+
+
+class ClassCapability:
+    """The capability bundle for one exported class."""
+
+    def __init__(
+        self,
+        class_name,
+        attributes,
+        key=None,
+        scannable=True,
+        binding_patterns=(),
+        templates=(),
+    ):
+        self.class_name = class_name
+        self.attributes = tuple(attributes)
+        self.key = key
+        self.scannable = scannable
+        self.binding_patterns: List[BindingPattern] = list(binding_patterns)
+        self.templates: Dict[str, QueryTemplate] = {
+            template.name: template for template in templates
+        }
+
+    def allow_selection_on(self, attributes):
+        """Declare a binding pattern allowing these attributes bound."""
+        attributes = set(attributes)
+        pattern = "".join(
+            "b" if attribute in attributes else "f"
+            for attribute in self.attributes
+        )
+        self.binding_patterns.append(BindingPattern(self.attributes, pattern))
+        return self
+
+    def add_template(self, template):
+        self.templates[template.name] = template
+        return self
+
+    def answerable(self, selections):
+        """Can a selection dict be pushed to the source?
+
+        An empty selection needs a scannable class; otherwise some
+        binding pattern must cover the selected attributes.
+        """
+        unknown = set(selections) - set(self.attributes)
+        if unknown:
+            raise CapabilityError(
+                "class %r has no attribute(s) %s"
+                % (self.class_name, sorted(unknown))
+            )
+        if not selections:
+            return self.scannable
+        return any(
+            pattern.accepts(selections) for pattern in self.binding_patterns
+        )
+
+    def require_answerable(self, selections):
+        if not self.answerable(selections):
+            raise CapabilityError(
+                "source cannot answer selection on %s for class %r "
+                "(declared patterns: %s)"
+                % (
+                    sorted(selections),
+                    self.class_name,
+                    [bp.pattern for bp in self.binding_patterns],
+                )
+            )
+        return True
+
+    def __repr__(self):
+        return "ClassCapability(%r, key=%r, patterns=%d, templates=%d)" % (
+            self.class_name,
+            self.key,
+            len(self.binding_patterns),
+            len(self.templates),
+        )

@@ -1,0 +1,143 @@
+"""Wrapping an already-lifted conceptual model as a source.
+
+CM plug-ins (:mod:`repro.xmlio.plugins`) turn foreign XML documents
+into :class:`~repro.gcm.ConceptualModel` objects carrying schema *and*
+data.  :func:`wrapper_from_cm` adapts such a CM to the standard
+:class:`~repro.sources.Wrapper` interface — materializing its instance
+data into a relational store, one table per class — so a plug-in
+translated source registers with the mediator exactly like a native
+relational one (capabilities included: every exported attribute is
+selectable, since the data is local anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..datalog.terms import Const
+from ..errors import SchemaError
+from ..gcm.model import ConceptualModel
+from .relstore import Column, RelStore
+from .wrapper import AnchorSpec, Wrapper
+
+_KEY_COLUMN = "_id"
+
+
+class CMWrapper(Wrapper):
+    """A wrapper backed by a lifted CM: object identities are the CM's
+    own object names (so relation tuples referencing them still join)."""
+
+    def object_id(self, class_name, key_value):
+        return str(key_value)
+
+
+def _dtype_of(values):
+    kinds = {type(v) for v in values if v is not None}
+    if kinds == {int}:
+        return "int"
+    if kinds <= {int, float} and kinds:
+        return "float"
+    if kinds == {bool}:
+        return "bool"
+    if kinds == {str}:
+        return "str"
+    return None
+
+
+def wrapper_from_cm(cm, anchors=(), source_name=None):
+    """Adapt a data-carrying conceptual model to the Wrapper interface.
+
+    Args:
+        cm: the conceptual model (e.g. ``plugin_result.cm``).
+        anchors: (class_name, concept, context_method) triples — pass
+            ``plugin_result.anchors``.  A context method means the
+            anchor concept is per-object (the value of that method);
+            otherwise the concept is static for the class.
+        source_name: wrapper name (defaults to the CM name).
+
+    Returns a ready-to-register :class:`Wrapper`.
+    """
+    name = source_name or cm.name
+    store = RelStore(name)
+
+    # collect instance data per class
+    objects_by_class: Dict[str, List] = {}
+    values: Dict[Tuple, Dict[str, object]] = {}
+    for rule in cm.data_rules():
+        atom = rule.head
+        if atom.pred == "instance":
+            obj, class_name = atom.args[0].value, atom.args[1].value
+            objects_by_class.setdefault(class_name, []).append(obj)
+        elif atom.pred == "method_inst":
+            obj, method, value = (a.value for a in atom.args)
+            values.setdefault(obj, {})[method] = value
+
+    anchor_by_class: Dict[str, Tuple[str, Optional[str]]] = {
+        class_name: (concept, context) for class_name, concept, context in anchors
+    }
+
+    def effective_methods(class_name):
+        """Own + inherited method names (structural inheritance)."""
+        out = set()
+        stack, seen = [class_name], set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            class_def = cm.classes.get(current)
+            if class_def is None:
+                continue
+            out.update(class_def.methods)
+            stack.extend(class_def.superclasses)
+        return sorted(out)
+
+    wrapper = CMWrapper(name, store)
+    for class_name in sorted(cm.classes):
+        class_def = cm.classes[class_name]
+        methods = effective_methods(class_name)
+        objects = objects_by_class.get(class_name, [])
+        columns = [Column(_KEY_COLUMN, "str")]
+        for method in methods:
+            method_values = [values.get(obj, {}).get(method) for obj in objects]
+            columns.append(Column(method, _dtype_of(method_values)))
+        anchor_spec = None
+        anchor = anchor_by_class.get(class_name)
+        if anchor is not None:
+            # plug-in anchors declare a static concept per class; the
+            # context (if any) names the attribute carrying the semantic
+            # coordinates, which the index records but anchoring here
+            # stays class-level
+            concept, _context = anchor
+            anchor_spec = AnchorSpec(concept=concept)
+
+        table = store.create_table(
+            "t_%s" % class_name, columns, key=_KEY_COLUMN
+        )
+        for obj in objects:
+            row = {_KEY_COLUMN: str(obj)}
+            for method in methods:
+                row[method] = values.get(obj, {}).get(method)
+            table.insert(row)
+
+        wrapper.export_class(
+            class_name,
+            "t_%s" % class_name,
+            _KEY_COLUMN,
+            methods={method: method for method in methods},
+            superclasses=class_def.superclasses,
+            anchor=anchor_spec,
+            selectable=set(methods),
+        )
+    # relation tuples: keep them as semantic rules (flat facts) so the
+    # engine still sees them after registration
+    relation_facts = [
+        rule
+        for rule in cm.data_rules()
+        if rule.head.pred in cm.relations
+    ]
+    if relation_facts:
+        wrapper.add_rule_objects(relation_facts)
+    for text_rule in cm.semantic_rules():
+        wrapper.add_rule_objects([text_rule])
+    return wrapper

@@ -1,0 +1,17 @@
+"""Built-in CM plug-ins: RDF(S), UML/XMI (UXF), and (E)ER profiles.
+
+Each module exposes ``TRANSLATOR_XML`` (the declarative mapping the
+source ships to the mediator once), ``SAMPLE_DOCUMENT``, and
+``translate(document) -> PluginResult``.
+"""
+
+from . import er, rdf, uml_xmi
+
+#: name -> module registry of the shipped plug-ins
+BUILTIN_PLUGINS = {
+    "rdf": rdf,
+    "uml": uml_xmi,
+    "er": er,
+}
+
+__all__ = ["BUILTIN_PLUGINS", "er", "rdf", "uml_xmi"]

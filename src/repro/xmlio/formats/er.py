@@ -1,0 +1,99 @@
+"""(E)ER-to-GCM plug-in.
+
+Entity-relationship diagrams are among the CM formalisms the paper
+expects sources to use ("(E)ER, ORM, UML class diagrams etc.").  The
+XML profile::
+
+    <ERModel name="lab_er">
+      <Entity name="experiment">
+        <Attribute name="date" domain="string"/>
+        <IsA super="record"/>
+      </Entity>
+      <Relationship name="measures">
+        <Participant role="exp" entity="experiment"/>
+        <Participant role="subject" entity="neuron"/>
+      </Relationship>
+      <Row entity="experiment" key="e1">
+        <Cell attribute="date">2001-02-14</Cell>
+      </Row>
+      <Fact relationship="measures">
+        <Part role="exp" value="e1"/>
+        <Part role="subject" value="n1"/>
+      </Fact>
+    </ERModel>
+"""
+
+from __future__ import annotations
+
+from ..plugins import PluginTranslator
+
+TRANSLATOR_XML = """
+<translator name="er2gcm">
+  <rule match=".//Entity">
+    <emit-class name="@name"/>
+  </rule>
+  <rule match=".//Entity/IsA">
+    <emit-super class="parent@name" super="@super"/>
+  </rule>
+  <rule match=".//Entity/Attribute">
+    <emit-method class="parent@name" name="@name" result="@domain"/>
+  </rule>
+  <rule match=".//Relationship">
+    <emit-relation name="@name">
+      <role-source match="Participant" name="@role" class="@entity"/>
+    </emit-relation>
+  </rule>
+  <rule match=".//Row">
+    <emit-instance object="@key" class="@entity"/>
+  </rule>
+  <rule match=".//Row/Cell">
+    <emit-value object="parent@key" method="@attribute" value="text" vtype="auto"/>
+  </rule>
+  <rule match=".//Fact">
+    <emit-tuple relation="@relationship">
+      <role-source match="Part" name="@role" value="@value"/>
+    </emit-tuple>
+  </rule>
+  <rule match=".//SemanticAnchor">
+    <emit-anchor class="@entity" concept="@concept" context="@context"/>
+  </rule>
+</translator>
+"""
+
+SAMPLE_DOCUMENT = """
+<ERModel name="lab_er">
+  <Entity name="record"/>
+  <Entity name="experiment">
+    <Attribute name="date" domain="string"/>
+    <IsA super="record"/>
+  </Entity>
+  <Entity name="neuron">
+    <Attribute name="label" domain="string"/>
+  </Entity>
+  <Relationship name="measures">
+    <Participant role="exp" entity="experiment"/>
+    <Participant role="subject" entity="neuron"/>
+  </Relationship>
+  <Row entity="experiment" key="e1">
+    <Cell attribute="date">2001-02-14</Cell>
+  </Row>
+  <Row entity="neuron" key="n1">
+    <Cell attribute="label">purkinje-17</Cell>
+  </Row>
+  <Fact relationship="measures">
+    <Part role="exp" value="e1"/>
+    <Part role="subject" value="n1"/>
+  </Fact>
+  <SemanticAnchor entity="neuron" concept="Neuron" context="label"/>
+</ERModel>
+"""
+
+
+def translator():
+    """The compiled ER-to-GCM translator."""
+    return PluginTranslator.from_xml(TRANSLATOR_XML)
+
+
+def translate(document, cm_name=None):
+    """Translate an ER-profile document into a conceptual model."""
+    return translator().apply(document, cm_name=cm_name)

@@ -1,0 +1,71 @@
+"""RDF(S)-to-GCM plug-in.
+
+The paper notes that "CMs formalized in XML Schema or RDF Schema come
+directly in XML syntax" and that "RDF ... when used with a rule language
+like F-logic, can be used as a GCM".  This plug-in handles a namespace-
+free RDF/RDFS profile (the shape of striped RDF/XML after namespace
+stripping)::
+
+    <RDF>
+      <Class id="neuron"/>
+      <Class id="purkinje_cell"><subClassOf resource="neuron"/></Class>
+      <Property id="location" domain="neuron" range="string"/>
+      <Description about="p1" type="purkinje_cell">
+        <location>cerebellum</location> -- handled via value emissions
+      </Description>
+    </RDF>
+
+Property values are carried as ``<prop about=... name=... >v</prop>``
+elements (a flattened triple form), keeping the mapping expressible in
+the declarative translator language.
+"""
+
+from __future__ import annotations
+
+from ..plugins import PluginTranslator
+
+TRANSLATOR_XML = """
+<translator name="rdf2gcm">
+  <rule match=".//Class">
+    <emit-class name="@id"/>
+  </rule>
+  <rule match=".//Class/subClassOf">
+    <emit-super class="parent@id" super="@resource"/>
+  </rule>
+  <rule match=".//Property">
+    <emit-method class="@domain" name="@id" result="@range"/>
+  </rule>
+  <rule match=".//Description">
+    <emit-instance object="@about" class="@type"/>
+  </rule>
+  <rule match=".//prop">
+    <emit-value object="@about" method="@name" value="text" vtype="auto"/>
+  </rule>
+  <rule match=".//anchor">
+    <emit-anchor class="@class" concept="@concept" context="@context"/>
+  </rule>
+</translator>
+"""
+
+SAMPLE_DOCUMENT = """
+<RDF name="rdf_neuro">
+  <Class id="neuron"/>
+  <Class id="purkinje_cell"><subClassOf resource="neuron"/></Class>
+  <Property id="location" domain="neuron" range="string"/>
+  <Property id="soma_diameter" domain="neuron" range="float"/>
+  <Description about="p1" type="purkinje_cell"/>
+  <prop about="p1" name="location">cerebellum</prop>
+  <prop about="p1" name="soma_diameter">24.5</prop>
+  <anchor class="purkinje_cell" concept="Purkinje_Cell" context="location"/>
+</RDF>
+"""
+
+
+def translator():
+    """The compiled RDF-to-GCM translator."""
+    return PluginTranslator.from_xml(TRANSLATOR_XML)
+
+
+def translate(document, cm_name=None):
+    """Translate an RDF-profile document into a conceptual model."""
+    return translator().apply(document, cm_name=cm_name)

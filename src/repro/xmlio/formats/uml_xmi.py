@@ -1,0 +1,98 @@
+"""UML/XMI-to-GCM plug-in.
+
+Section 2's worked example: "a UXF-2-GCM translator is an XML query
+that maps XML documents conforming to the UXF DTD to their equivalent
+GCM representations".  This plug-in accepts a UXF/XMI-flavoured class
+model::
+
+    <Model name="lab_model">
+      <Class name="Neuron">
+        <Attribute name="location" type="string"/>
+      </Class>
+      <Class name="PurkinjeCell">
+        <Generalization parent="Neuron"/>
+      </Class>
+      <Association name="has">
+        <End role="whole" class="Neuron"/>
+        <End role="part" class="Compartment"/>
+      </Association>
+      <Object id="p1" class="PurkinjeCell">
+        <Slot name="location" value="cerebellum"/>
+      </Object>
+    </Model>
+
+Associations become GCM relations (with their reified tuple objects),
+generalizations become subclass links.
+"""
+
+from __future__ import annotations
+
+from ..plugins import PluginTranslator
+
+TRANSLATOR_XML = """
+<translator name="uxf2gcm">
+  <rule match=".//Class">
+    <emit-class name="@name"/>
+  </rule>
+  <rule match=".//Class/Generalization">
+    <emit-super class="parent@name" super="@parent"/>
+  </rule>
+  <rule match=".//Class/Attribute">
+    <emit-method class="parent@name" name="@name" result="@type"/>
+  </rule>
+  <rule match=".//Association">
+    <emit-relation name="@name">
+      <role-source match="End" name="@role" class="@class"/>
+    </emit-relation>
+  </rule>
+  <rule match=".//Object">
+    <emit-instance object="@id" class="@class"/>
+  </rule>
+  <rule match=".//Object/Slot">
+    <emit-value object="parent@id" method="@name" value="@value" vtype="auto"/>
+  </rule>
+  <rule match=".//Link">
+    <emit-tuple relation="@association">
+      <role-source match="LinkEnd" name="@role" value="@object"/>
+    </emit-tuple>
+  </rule>
+  <rule match=".//Anchor">
+    <emit-anchor class="@class" concept="@concept" context="@context"/>
+  </rule>
+</translator>
+"""
+
+SAMPLE_DOCUMENT = """
+<Model name="uml_lab">
+  <Class name="Neuron">
+    <Attribute name="location" type="string"/>
+  </Class>
+  <Class name="Compartment"/>
+  <Class name="PurkinjeCell">
+    <Generalization parent="Neuron"/>
+  </Class>
+  <Association name="has">
+    <End role="whole" class="Neuron"/>
+    <End role="part" class="Compartment"/>
+  </Association>
+  <Object id="p1" class="PurkinjeCell">
+    <Slot name="location" value="cerebellum"/>
+  </Object>
+  <Object id="d1" class="Compartment"/>
+  <Link association="has">
+    <LinkEnd role="whole" object="p1"/>
+    <LinkEnd role="part" object="d1"/>
+  </Link>
+  <Anchor class="PurkinjeCell" concept="Purkinje_Cell"/>
+</Model>
+"""
+
+
+def translator():
+    """The compiled UXF/XMI-to-GCM translator."""
+    return PluginTranslator.from_xml(TRANSLATOR_XML)
+
+
+def translate(document, cm_name=None):
+    """Translate a UML/XMI-profile document into a conceptual model."""
+    return translator().apply(document, cm_name=cm_name)

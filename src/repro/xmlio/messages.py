@@ -1,0 +1,161 @@
+"""XML query/answer dialogue between mediator and wrappers.
+
+Registration already crosses the wire (:mod:`repro.core.registration`);
+this module covers the remaining dialogue of Section 2 — "queries ...
+and mediator/wrapper dialogues" — with two message kinds:
+
+query request::
+
+    <source-query class="protein_amount">
+      <select attribute="location">Purkinje Cell dendrite</select>
+      <project attribute="protein_name"/>
+    </source-query>
+
+template request::
+
+    <template-query class="protein_amount" template="by_min_amount">
+      <arg name="min_amount" type="float">2.0</arg>
+    </template-query>
+
+answer::
+
+    <answer class="protein_amount" count="2">
+      <row object="NCMIR.protein_amount.1">
+        <col name="protein_name">Ryanodine Receptor</col>
+        ...
+      </row>
+    </answer>
+
+:func:`handle_request` is the wrapper-side dispatcher: XML in, XML out.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional
+
+from ..errors import XMLTransportError
+from .doc import element_value, parse_xml, serialize, value_element
+
+
+def query_to_xml(source_query):
+    """Encode a :class:`~repro.sources.SourceQuery`."""
+    root = ET.Element("source-query", {"class": source_query.class_name})
+    for attribute in sorted(source_query.selections):
+        root.append(
+            value_element(
+                "select",
+                source_query.selections[attribute],
+                attribute=attribute,
+            )
+        )
+    if source_query.projection is not None:
+        for attribute in source_query.projection:
+            ET.SubElement(root, "project", {"attribute": attribute})
+    return serialize(root)
+
+
+def query_from_xml(text):
+    """Decode a query request; returns a SourceQuery."""
+    from ..sources.wrapper import SourceQuery
+
+    root = parse_xml(text) if isinstance(text, str) else text
+    if root.tag != "source-query":
+        raise XMLTransportError(
+            "expected <source-query>, found <%s>" % root.tag
+        )
+    class_name = root.get("class")
+    if not class_name:
+        raise XMLTransportError("<source-query> requires a class attribute")
+    selections = {}
+    for select in root.findall("select"):
+        attribute = select.get("attribute")
+        if not attribute:
+            raise XMLTransportError("<select> requires an attribute")
+        selections[attribute] = element_value(select)
+    projection = [p.get("attribute") for p in root.findall("project")] or None
+    return SourceQuery(class_name, selections, projection)
+
+
+def template_query_to_xml(class_name, template_name, arguments):
+    """Encode a template invocation."""
+    root = ET.Element(
+        "template-query", {"class": class_name, "template": template_name}
+    )
+    for name in sorted(arguments):
+        root.append(value_element("arg", arguments[name], name=name))
+    return serialize(root)
+
+
+def template_query_from_xml(text):
+    """Decode a template invocation: (class, template, arguments)."""
+    root = parse_xml(text) if isinstance(text, str) else text
+    if root.tag != "template-query":
+        raise XMLTransportError(
+            "expected <template-query>, found <%s>" % root.tag
+        )
+    class_name = root.get("class")
+    template_name = root.get("template")
+    if not class_name or not template_name:
+        raise XMLTransportError(
+            "<template-query> requires class and template attributes"
+        )
+    arguments = {
+        arg.get("name"): element_value(arg) for arg in root.findall("arg")
+    }
+    return class_name, template_name, arguments
+
+
+def rows_to_xml(class_name, rows):
+    """Encode wrapper answer rows (dicts with `_object`)."""
+    root = ET.Element("answer", {"class": class_name, "count": str(len(rows))})
+    for row in rows:
+        row_el = ET.SubElement(root, "row", {"object": str(row.get("_object", ""))})
+        for key in sorted(row):
+            if key.startswith("_"):
+                continue
+            value = row[key]
+            if value is None:
+                continue
+            row_el.append(value_element("col", value, name=key))
+    return serialize(root)
+
+
+def rows_from_xml(text):
+    """Decode an answer message: (class, rows)."""
+    root = parse_xml(text) if isinstance(text, str) else text
+    if root.tag != "answer":
+        raise XMLTransportError("expected <answer>, found <%s>" % root.tag)
+    class_name = root.get("class")
+    rows: List[Dict] = []
+    for row_el in root.findall("row"):
+        row: Dict = {"_object": row_el.get("object")}
+        for col in row_el.findall("col"):
+            row[col.get("name")] = element_value(col)
+        rows.append(row)
+    declared = root.get("count")
+    if declared is not None and int(declared) != len(rows):
+        raise XMLTransportError(
+            "answer declares %s rows but carries %d" % (declared, len(rows))
+        )
+    return class_name, rows
+
+
+def handle_request(wrapper, request_xml):
+    """The wrapper-side XML endpoint: dispatch a request, answer in XML.
+
+    Accepts ``<source-query>`` and ``<template-query>`` messages;
+    errors surface as :class:`XMLTransportError` /
+    :class:`~repro.errors.SourceError` to the caller (the transport is
+    in-process; a networked deployment would serialize those too).
+    """
+    root = parse_xml(request_xml)
+    if root.tag == "source-query":
+        source_query = query_from_xml(root)
+        rows = wrapper.query(source_query)
+        return rows_to_xml(source_query.class_name, rows)
+    if root.tag == "template-query":
+        class_name, template_name, arguments = template_query_from_xml(root)
+        rows = wrapper.run_template(class_name, template_name, **arguments)
+        return rows_to_xml(class_name, rows)
+    raise XMLTransportError("unknown request <%s>" % root.tag)

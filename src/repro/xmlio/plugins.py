@@ -1,0 +1,295 @@
+"""The CM plug-in mechanism: declarative XML-to-GCM translators.
+
+Section 2: "a new CM formalism ... is added to the system by simply
+plugging an [X]-2-GCM translator into the mediator.  Essentially such a
+translator is nothing more than a complex XML query expression that a
+source sends once to the mediator."  The mediator then needs *only a
+single GCM engine* for arbitrary CM formalisms.
+
+A translator is itself an XML document — data, not code — of the form::
+
+    <translator name="er2gcm">
+      <rule match=".//Entity">
+        <emit-class name="@name"/>
+      </rule>
+      <rule match=".//Entity/Attribute">
+        <emit-method class="parent@name" name="@name" result="@domain"/>
+      </rule>
+      <rule match=".//Instance">
+        <emit-instance object="@id" class="@entity"/>
+      </rule>
+    </translator>
+
+Each ``rule`` matches elements via ElementTree path syntax and emits GCM
+declarations whose fields are *accessors* evaluated against the matched
+element:
+
+=================  =================================================
+accessor           meaning
+=================  =================================================
+``@attr``          attribute of the matched element
+``text``           text content of the matched element
+``tag``            the element's tag name
+``parent@attr``    attribute of the parent element
+``child:tag@a``    attribute ``a`` of the first ``tag`` child
+``child:tag``      text of the first ``tag`` child
+``'literal'``      a literal string
+=================  =================================================
+
+Available emissions: ``emit-class``, ``emit-super``, ``emit-method``,
+``emit-relation`` (with nested ``role-source``), ``emit-instance``,
+``emit-value`` (with ``vtype="int|float|auto|str"``), ``emit-tuple``
+(with nested ``role-source``), and ``emit-anchor`` (anchor/context
+attributes for the semantic index).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import PluginError
+from ..gcm.model import ConceptualModel
+from .doc import parent_map, parse_xml
+
+
+class PluginResult:
+    """Outcome of applying a translator: the CM plus anchor declarations."""
+
+    def __init__(self, cm, anchors):
+        self.cm = cm
+        self.anchors = anchors  # list of (class_name, concept, context|None)
+
+    def __repr__(self):
+        return "PluginResult(cm=%r, anchors=%d)" % (self.cm.name, len(self.anchors))
+
+
+class PluginTranslator:
+    """A compiled XML-to-GCM translator."""
+
+    def __init__(self, name, rules, cm_name=None):
+        self.name = name
+        self.rules = rules  # list of (match_path, [emission Element])
+        self.cm_name = cm_name
+
+    @classmethod
+    def from_xml(cls, text_or_element):
+        if isinstance(text_or_element, str):
+            root = parse_xml(text_or_element)
+        else:
+            root = text_or_element
+        if root.tag != "translator":
+            raise PluginError(
+                "expected <translator> root, found <%s>" % root.tag
+            )
+        name = root.get("name") or "anonymous-translator"
+        rules = []
+        for rule_el in root.findall("rule"):
+            match = rule_el.get("match")
+            if not match:
+                raise PluginError("<rule> requires a match attribute")
+            emissions = list(rule_el)
+            rules.append((match, emissions))
+        if not rules:
+            raise PluginError("translator %r has no rules" % name)
+        return cls(name, rules, cm_name=root.get("cm-name"))
+
+    # -- application -------------------------------------------------------
+
+    def apply(self, document, cm_name=None):
+        """Translate a source document into a conceptual model.
+
+        Returns a :class:`PluginResult`.  `document` is XML text or an
+        Element; `cm_name` overrides the translator's default CM name.
+        """
+        if isinstance(document, str):
+            root = parse_xml(document)
+        else:
+            root = document
+        parents = parent_map(root)
+        collector = _Collector()
+        for match, emissions in self.rules:
+            try:
+                matched = root.findall(match)
+            except SyntaxError as exc:
+                raise PluginError(
+                    "bad match path %r in translator %r: %s"
+                    % (match, self.name, exc)
+                ) from exc
+            for element in matched:
+                for emission in emissions:
+                    self._emit(emission, element, parents, collector)
+        name = cm_name or self.cm_name or root.get("name") or self.name
+        return collector.build(name)
+
+    def _emit(self, emission, element, parents, collector):
+        kind = emission.tag
+        get = lambda field, default=None: _accessor(
+            emission.get(field), element, parents, default
+        )
+        if kind == "emit-class":
+            collector.classes.add(_need(get("name"), emission, "name"))
+        elif kind == "emit-super":
+            collector.supers.append(
+                (
+                    _need(get("class"), emission, "class"),
+                    _need(get("super"), emission, "super"),
+                )
+            )
+        elif kind == "emit-method":
+            collector.methods.append(
+                (
+                    _need(get("class"), emission, "class"),
+                    _need(get("name"), emission, "name"),
+                    get("result", "string") or "string",
+                    emission.get("multivalued") == "true",
+                )
+            )
+        elif kind == "emit-relation":
+            roles = self._nested_roles(emission, element, parents)
+            collector.relations.append(
+                (_need(get("name"), emission, "name"), roles)
+            )
+        elif kind == "emit-instance":
+            collector.instances.append(
+                (
+                    _need(get("object"), emission, "object"),
+                    _need(get("class"), emission, "class"),
+                )
+            )
+        elif kind == "emit-value":
+            raw = _need(get("value"), emission, "value")
+            collector.values.append(
+                (
+                    _need(get("object"), emission, "object"),
+                    _need(get("method"), emission, "method"),
+                    _convert(raw, emission.get("vtype", "auto")),
+                )
+            )
+        elif kind == "emit-tuple":
+            roles = self._nested_roles(emission, element, parents)
+            collector.tuples.append(
+                (_need(get("relation"), emission, "relation"), roles)
+            )
+        elif kind == "emit-anchor":
+            collector.anchors.append(
+                (
+                    _need(get("class"), emission, "class"),
+                    _need(get("concept"), emission, "concept"),
+                    get("context"),
+                )
+            )
+        else:
+            raise PluginError("unknown emission <%s>" % kind)
+
+    def _nested_roles(self, emission, element, parents):
+        roles = []
+        for source in emission.findall("role-source"):
+            match = source.get("match")
+            targets = element.findall(match) if match else [element]
+            for target in targets:
+                roles.append(
+                    (
+                        _need(
+                            _accessor(source.get("name"), target, parents),
+                            source,
+                            "name",
+                        ),
+                        _accessor(source.get("value"), target, parents)
+                        or _accessor(source.get("class"), target, parents),
+                    )
+                )
+        return roles
+
+
+class _Collector:
+    def __init__(self):
+        self.classes = set()
+        self.supers = []
+        self.methods = []
+        self.relations = []
+        self.instances = []
+        self.values = []
+        self.tuples = []
+        self.anchors = []
+
+    def build(self, name):
+        cm = ConceptualModel(name)
+        classes = set(self.classes)
+        classes.update(class_name for class_name, _sup in self.supers)
+        classes.update(sup for _class_name, sup in self.supers)
+        classes.update(class_name for class_name, *_rest in self.methods)
+        classes.update(class_name for _obj, class_name in self.instances)
+        for class_name in sorted(classes):
+            cm.add_class(class_name)
+        for class_name, sup in self.supers:
+            cm.add_superclass(class_name, sup)
+        for class_name, method, result, multivalued in self.methods:
+            if method not in cm.classes[class_name].methods:
+                cm.add_method(class_name, method, result, multivalued)
+        for relation_name, roles in self.relations:
+            if relation_name not in cm.relations:
+                cm.add_relation(relation_name, roles)
+        for obj, class_name in self.instances:
+            cm.add_instance(obj, class_name)
+        for obj, method, value in self.values:
+            cm.set_value(obj, method, value)
+        for relation_name, roles in self.tuples:
+            cm.add_relation_instance(relation_name, **dict(roles))
+        return PluginResult(cm, list(self.anchors))
+
+
+def _accessor(spec, element, parents, default=None):
+    """Evaluate one accessor expression against a matched element."""
+    if spec is None:
+        return default
+    spec = spec.strip()
+    if spec.startswith("'") and spec.endswith("'") and len(spec) >= 2:
+        return spec[1:-1]
+    if spec == "text":
+        return (element.text or "").strip() or default
+    if spec == "tag":
+        return element.tag
+    if spec.startswith("@"):
+        return element.get(spec[1:], default)
+    if spec.startswith("parent@"):
+        parent = parents.get(element)
+        if parent is None:
+            return default
+        return parent.get(spec[len("parent@"):], default)
+    if spec.startswith("child:"):
+        rest = spec[len("child:"):]
+        if "@" in rest:
+            tag, attr = rest.split("@", 1)
+            child = element.find(tag)
+            return child.get(attr, default) if child is not None else default
+        child = element.find(rest)
+        if child is None:
+            return default
+        return (child.text or "").strip() or default
+    raise PluginError("unknown accessor %r" % spec)
+
+
+def _need(value, emission, field):
+    if value is None:
+        raise PluginError(
+            "emission <%s> could not resolve field %r" % (emission.tag, field)
+        )
+    return value
+
+
+def _convert(raw, vtype):
+    if vtype == "str":
+        return raw
+    if vtype == "int":
+        return int(raw)
+    if vtype == "float":
+        return float(raw)
+    if vtype == "auto":
+        for converter in (int, float):
+            try:
+                return converter(raw)
+            except ValueError:
+                continue
+        return raw
+    raise PluginError("unknown vtype %r" % vtype)

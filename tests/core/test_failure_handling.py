@@ -1,0 +1,82 @@
+"""Tests for source-failure tolerance during plan execution."""
+
+import pytest
+
+from repro.errors import SourceError
+from repro.neuro import build_scenario, section5_query
+from repro.neuro.ncmir import LOCATION_CONCEPTS
+from repro.sources import AnchorSpec, Column, RelStore, Wrapper
+
+
+class FlakyWrapper(Wrapper):
+    """A protein_amount source whose query endpoint always fails."""
+
+    def query(self, source_query):
+        raise SourceError("connection to %s lost" % self.name)
+
+
+def flaky_protein_source():
+    store = RelStore("FLAKY")
+    store.create_table(
+        "protein_amount",
+        [
+            Column("id", "int"),
+            Column("protein", "str"),
+            Column("location", "str"),
+            Column("amount", "float"),
+        ],
+        key="id",
+    ).insert(
+        {"id": 1, "protein": "Calbindin", "location": "Purkinje Cell", "amount": 9.9}
+    )
+    wrapper = FlakyWrapper("FLAKY", store)
+    # declare exports through the parent class (query stays broken)
+    Wrapper.export_class(
+        wrapper,
+        "protein_amount",
+        "protein_amount",
+        "id",
+        methods={
+            "protein_name": "protein",
+            "location": "location",
+            "amount": "amount",
+        },
+        anchor=AnchorSpec(column="location", mapping=dict(LOCATION_CONCEPTS)),
+        selectable={"location", "protein_name", "organism"}
+        & {"location", "protein_name"},
+    )
+    return wrapper
+
+
+@pytest.fixture
+def scenario_with_flaky():
+    scenario = build_scenario(eager=False)
+    scenario.mediator.register(flaky_protein_source(), eager=False)
+    return scenario
+
+
+class TestFailureHandling:
+    def test_failure_aborts_by_default(self, scenario_with_flaky):
+        mediator = scenario_with_flaky.mediator
+        with pytest.raises(SourceError):
+            mediator.correlate(section5_query())
+
+    def test_skip_failed_sources_continues(self, scenario_with_flaky):
+        mediator = scenario_with_flaky.mediator
+        plan, context = mediator.correlate(
+            section5_query(), skip_failed_sources=True
+        )
+        # the flaky source was selected (it anchors at Purkinje concepts)
+        assert "FLAKY" in context.selected_sources
+        # ... failed ...
+        assert [source for source, _exc in context.errors] == ["FLAKY"]
+        # ... and the healthy source still answered
+        proteins = {group for group, _d in context.answers}
+        assert "Ryanodine Receptor" in proteins
+
+    def test_no_errors_recorded_when_all_healthy(self):
+        mediator = build_scenario(eager=False).mediator
+        _plan, context = mediator.correlate(
+            section5_query(), skip_failed_sources=True
+        )
+        assert context.errors == []

@@ -1,0 +1,155 @@
+"""Tests for derivation trees (provenance)."""
+
+import pytest
+
+from repro.datalog import evaluate, explain, parse_atom, parse_program
+from repro.errors import EvaluationError
+
+
+class TestBasicExplanations:
+    def test_fact_explains_itself(self):
+        program = parse_program("p(a).")
+        derivation = explain(program, parse_atom("p(a)"))
+        assert derivation.is_fact
+        assert derivation.children == []
+
+    def test_false_atom_has_no_explanation(self):
+        program = parse_program("p(a).")
+        assert explain(program, parse_atom("p(b)")) is None
+        assert explain(program, parse_atom("q(a)")) is None
+
+    def test_single_rule_step(self):
+        program = parse_program("q(a). p(X) :- q(X).")
+        derivation = explain(program, parse_atom("p(a)"))
+        assert derivation.rule is not None
+        assert len(derivation.children) == 1
+        assert str(derivation.children[0].atom) == "q(a)"
+
+    def test_recursive_chain(self):
+        program = parse_program(
+            """
+            edge(a, b). edge(b, c). edge(c, d).
+            tc(X, Y) :- edge(X, Y).
+            tc(X, Y) :- edge(X, Z), tc(Z, Y).
+            """
+        )
+        derivation = explain(program, parse_atom("tc(a, d)"))
+        assert derivation is not None
+        leaves = {str(leaf.atom) for leaf in derivation.leaves()}
+        assert leaves == {"edge(a, b)", "edge(b, c)", "edge(c, d)"}
+        assert derivation.depth() == 4
+
+    def test_cyclic_data_still_well_founded_proof(self):
+        program = parse_program(
+            """
+            edge(a, b). edge(b, a).
+            tc(X, Y) :- edge(X, Y).
+            tc(X, Y) :- edge(X, Z), tc(Z, Y).
+            """
+        )
+        derivation = explain(program, parse_atom("tc(a, a)"))
+        assert derivation is not None
+        # the proof must not contain tc(a,a) below itself
+        def atoms_below(node):
+            out = []
+            for child in node.children:
+                out.append(child.atom)
+                out.extend(atoms_below(child))
+            return out
+
+        assert parse_atom("tc(a, a)") not in atoms_below(derivation)
+
+    def test_negation_leaf(self):
+        program = parse_program(
+            """
+            node(a). node(b). edge(a, b).
+            touched(X) :- edge(X, _).
+            isolated(X) :- node(X), not touched(X).
+            """
+        )
+        derivation = explain(program, parse_atom("isolated(b)"))
+        notes = {child.note for child in derivation.children}
+        assert "absent (closed world)" in notes
+
+    def test_builtin_leaf(self):
+        program = parse_program("v(5). big(X) :- v(X), X > 3.")
+        derivation = explain(program, parse_atom("big(5)"))
+        assert any(child.note == "builtin" for child in derivation.children)
+
+    def test_arithmetic_leaf(self):
+        program = parse_program("v(2). d(X, Y) :- v(X), Y is X * 2.")
+        derivation = explain(program, parse_atom("d(2, 4)"))
+        assert any(child.note == "arithmetic" for child in derivation.children)
+
+    def test_aggregate_leaf(self):
+        program = parse_program("p(a). p(b). n(N) :- N = count{X; p(X)}.")
+        derivation = explain(program, parse_atom("n(2)"))
+        assert any(child.note == "aggregate" for child in derivation.children)
+
+    def test_nonground_atom_rejected(self):
+        program = parse_program("p(a).")
+        with pytest.raises(EvaluationError):
+            explain(program, parse_atom("p(X)"))
+
+    def test_reuses_prior_result(self):
+        program = parse_program("q(a). p(X) :- q(X).")
+        result = evaluate(program)
+        derivation = explain(program, parse_atom("p(a)"), result=result)
+        assert derivation is not None
+
+    def test_format_readable(self):
+        program = parse_program("q(a). p(X) :- q(X).")
+        text = explain(program, parse_atom("p(a)")).format()
+        assert "[rule:" in text
+        assert "[fact]" in text
+
+
+class TestFLogicExplanations:
+    def test_isa_explained_through_axioms(self):
+        from repro.flogic import FLogicEngine
+
+        engine = FLogicEngine()
+        engine.tell("a :: b. b :: c. x : a.")
+        derivation = engine.explain("x : c")
+        assert derivation is not None
+        leaves = {str(leaf.atom) for leaf in derivation.leaves()}
+        assert "instance(x, a)" in leaves
+
+    def test_false_fl_fact(self):
+        from repro.flogic import FLogicEngine
+
+        engine = FLogicEngine()
+        engine.tell("x : a.")
+        assert engine.explain("x : b") is None
+
+    def test_nonground_rejected(self):
+        from repro.flogic import FLogicEngine
+
+        engine = FLogicEngine()
+        engine.tell("x : a.")
+        with pytest.raises(ValueError):
+            engine.explain("X : a")
+
+    def test_conjunction_rejected(self):
+        from repro.flogic import FLogicEngine
+
+        engine = FLogicEngine()
+        engine.tell("x : a.")
+        with pytest.raises(ValueError):
+            engine.explain("x : a, x : b")
+
+    def test_mediated_fact_traces_to_source_anchor(self):
+        from repro.neuro import build_scenario
+
+        mediator = build_scenario().mediator
+        obj = sorted(
+            row["X"]
+            for row in mediator.ask("X : 'Compartment'")
+            if str(row["X"]).startswith("NCMIR")
+        )[0]
+        derivation = mediator.explain("'%s' : 'Compartment'" % obj)
+        assert derivation is not None
+        leaf_atoms = {str(leaf.atom) for leaf in derivation.leaves()}
+        # bottoms out in the anchor fact and DM subclass facts
+        assert any("subclass" in atom for atom in leaf_atoms)
+        assert any(obj in atom for atom in leaf_atoms)

@@ -1,0 +1,147 @@
+"""Tests for DL expressions, axioms, FO translation and the DL parser."""
+
+import pytest
+
+from repro.errors import DomainMapError, ParseError
+from repro.domainmap import (
+    Conj,
+    Disj,
+    Eqv,
+    Exists,
+    Forall,
+    Named,
+    Sub,
+    axiom_to_fo,
+    parse_axiom,
+    parse_axioms,
+    parse_concept,
+)
+
+
+class TestExpressions:
+    def test_named_equality(self):
+        assert Named("Neuron") == Named("Neuron")
+        assert Named("Neuron") != Named("Spine")
+
+    def test_conj_flattens(self):
+        conj = Conj([Named("A"), Conj([Named("B"), Named("C")])])
+        assert len(conj.parts) == 3
+
+    def test_conj_needs_two_parts(self):
+        with pytest.raises(DomainMapError):
+            Conj([Named("A")])
+
+    def test_disj_flattens(self):
+        disj = Disj([Named("A"), Disj([Named("B"), Named("C")])])
+        assert len(disj.parts) == 3
+
+    def test_exists_wraps_string_concept(self):
+        expr = Exists("has", "Spine")
+        assert expr.concept == Named("Spine")
+
+    def test_named_concepts_collects_nested(self):
+        expr = Conj([Named("A"), Exists("r", Conj([Named("B"), Named("C")]))])
+        assert set(expr.named_concepts()) == {"A", "B", "C"}
+
+    def test_roles_collects_nested(self):
+        expr = Exists("r", Forall("s", Named("A")))
+        assert set(expr.roles()) == {"r", "s"}
+
+    def test_str_quotes_spaces(self):
+        assert str(Named("Purkinje Cell")) == "'Purkinje Cell'"
+
+
+class TestParser:
+    def test_simple_isa(self):
+        axiom = parse_axiom("Axon < Compartment")
+        assert axiom == Sub(Named("Axon"), Named("Compartment"))
+
+    def test_exists(self):
+        axiom = parse_axiom("Neuron < exists has.Compartment")
+        assert axiom == Sub(Named("Neuron"), Exists("has", Named("Compartment")))
+
+    def test_forall(self):
+        axiom = parse_axiom("MyNeuron < all has.MyDendrite")
+        assert axiom == Sub(Named("MyNeuron"), Forall("has", Named("MyDendrite")))
+
+    def test_equivalence_with_conjunction(self):
+        axiom = parse_axiom("Spiny_Neuron = Neuron & exists has.Spine")
+        assert isinstance(axiom, Eqv)
+        assert axiom.rhs == Conj([Named("Neuron"), Exists("has", Named("Spine"))])
+
+    def test_disjunction_parenthesized(self):
+        axiom = parse_axiom("M < exists proj.(A | B | C)")
+        exists = axiom.rhs
+        assert isinstance(exists, Exists)
+        assert exists.concept == Disj([Named("A"), Named("B"), Named("C")])
+
+    def test_quoted_names(self):
+        axiom = parse_axiom("'Purkinje Cell' < 'Spiny Neuron'")
+        assert axiom.lhs == Named("Purkinje Cell")
+
+    def test_quoted_role(self):
+        axiom = parse_axiom("A < exists 'is part of'.B")
+        assert axiom.rhs.role == "is part of"
+
+    def test_multi_conjunct_with_quantifiers(self):
+        axiom = parse_axiom(
+            "MyNeuron < Medium_Spiny_Neuron & exists proj.GPE & all has.MyDendrite"
+        )
+        assert len(axiom.rhs.parts) == 3
+
+    def test_parse_axioms_multiline_with_comments(self):
+        axioms = parse_axioms(
+            """
+            % anatomical knowledge
+            Axon < Compartment
+            Dendrite < Compartment   % another
+            """
+        )
+        assert len(axioms) == 2
+
+    def test_parse_concept(self):
+        expr = parse_concept("Neuron & exists has.Spine")
+        assert isinstance(expr, Conj)
+
+    def test_missing_operator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_axiom("A B")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_axiom("A < B C")
+
+    def test_roundtrip_through_str(self):
+        texts = [
+            "Axon < Compartment",
+            "Spiny_Neuron = Neuron & exists has.Spine",
+            "M < exists proj.(A | B)",
+            "MyNeuron < all has.MyDendrite",
+        ]
+        for text in texts:
+            axiom = parse_axiom(text)
+            assert parse_axiom(str(axiom)) == axiom
+
+
+class TestFOTranslation:
+    def test_fo_of_ex_edge_matches_paper(self):
+        # FO(ex): forall x (C(x) -> exists y (D(y) & r(x, y)))
+        axiom = parse_axiom("C < exists r.D")
+        fo = axiom_to_fo(axiom)
+        assert fo == "forall x (C(x) -> exists y1 (r(x, y1) & D(y1)))"
+
+    def test_fo_of_isa(self):
+        fo = axiom_to_fo(parse_axiom("Axon < Compartment"))
+        assert fo == "forall x (Axon(x) -> Compartment(x))"
+
+    def test_fo_of_forall(self):
+        fo = axiom_to_fo(parse_axiom("C < all r.D"))
+        assert "forall y1 (r(x, y1) -> D(y1))" in fo
+
+    def test_fo_of_equivalence(self):
+        fo = axiom_to_fo(parse_axiom("A = B"))
+        assert "<->" in fo
+
+    def test_fo_of_conjunction(self):
+        fo = axiom_to_fo(parse_axiom("S = N & exists has.Spine"))
+        assert "(N(x))" in fo and "Spine" in fo

@@ -1,0 +1,301 @@
+"""Tests for edge execution, registration (Figure 3), and the index."""
+
+import pytest
+
+from repro.datalog import Program, evaluate
+from repro.errors import DomainMapError, UnknownConceptError, UnknownRoleError
+from repro.domainmap import (
+    DomainMap,
+    SemanticIndex,
+    compile_domain_map,
+    definite_projections,
+    register_concepts,
+)
+from repro.gcm.constraints import witnesses_from_store
+
+
+@pytest.fixture
+def small_dm():
+    dm = DomainMap("t")
+    dm.add_axioms(
+        """
+        Dendrite < Compartment
+        Dendrite < exists has.Branch
+        Branch < exists has.Spine
+        """
+    )
+    return dm
+
+
+def run(rules, facts):
+    program = Program(rules)
+    for pred, *args in facts:
+        program.add_fact(pred, *args)
+    return evaluate(program)
+
+
+class TestEdgeExecution:
+    def test_assertion_creates_placeholder(self, small_dm):
+        rules = compile_domain_map(
+            small_dm, assertions_for=[("Dendrite", "has", "Branch")]
+        )
+        result = run(
+            rules,
+            [
+                ("instance", "d1", "Dendrite"),
+                ("instance", "d2", "Dendrite"),
+                ("instance", "b1", "Branch"),
+                ("role_fact", "has", "d1", "b1"),
+            ],
+        )
+        asserted = [str(a) for a in result.store.sorted_atoms("role_asserted")]
+        assert asserted == ["role_asserted(has, d2, f('Dendrite', has, 'Branch', d2))"]
+
+    def test_placeholder_is_instance_of_target(self, small_dm):
+        rules = compile_domain_map(
+            small_dm, assertions_for=[("Dendrite", "has", "Branch")]
+        )
+        result = run(rules, [("instance", "d1", "Dendrite")])
+        instances = {str(a) for a in result.store.iter_atoms("instance")}
+        assert "instance(f('Dendrite', has, 'Branch', d1), 'Branch')" in instances
+
+    def test_no_placeholder_when_filled(self, small_dm):
+        rules = compile_domain_map(
+            small_dm, assertions_for=[("Dendrite", "has", "Branch")]
+        )
+        result = run(
+            rules,
+            [
+                ("instance", "d1", "Dendrite"),
+                ("instance", "b1", "Branch"),
+                ("role_fact", "has", "d1", "b1"),
+            ],
+        )
+        assert len(result.store.rows(("role_asserted", 3))) == 0
+
+    def test_role_inst_union_view(self, small_dm):
+        rules = compile_domain_map(
+            small_dm, assertions_for=[("Dendrite", "has", "Branch")]
+        )
+        result = run(
+            rules,
+            [
+                ("instance", "d1", "Dendrite"),
+                ("instance", "d2", "Dendrite"),
+                ("instance", "b1", "Branch"),
+                ("role_fact", "has", "d1", "b1"),
+            ],
+        )
+        role_inst = result.store.rows(("role_inst", 3))
+        assert len(role_inst) == 2  # stated + asserted
+
+    def test_constraint_mode_witnesses(self, small_dm):
+        # Run the constraint rules over the materialized base (two-phase
+        # style, as repro.gcm.check does).
+        base = run(
+            compile_domain_map(small_dm),
+            [
+                ("instance", "d1", "Dendrite"),
+                ("instance", "d2", "Dendrite"),
+                ("instance", "b1", "Branch"),
+                ("role_fact", "has", "d1", "b1"),
+            ],
+        )
+        from repro.domainmap import edge_constraint_rules
+        from repro.datalog.ast import Rule
+
+        phase2 = Program()
+        for atom in base.store.iter_atoms():
+            phase2.add(Rule(atom))
+        phase2.extend(edge_constraint_rules("Dendrite", "has", "Branch"))
+        result = evaluate(phase2)
+        witnesses = witnesses_from_store(result.store)
+        assert len(witnesses) == 1
+        assert witnesses[0].context == ("Dendrite", "has", "Branch", "d2")
+
+    def test_universal_constraint_mode(self, small_dm):
+        small_dm.all_values("Dendrite", "has", "Branch")
+        base = run(
+            compile_domain_map(small_dm),
+            [
+                ("instance", "d1", "Dendrite"),
+                ("role_fact", "has", "d1", "x9"),
+            ],
+        )
+        from repro.domainmap import all_edge_constraint_rules
+        from repro.datalog.ast import Rule
+
+        phase2 = Program()
+        for atom in base.store.iter_atoms():
+            phase2.add(Rule(atom))
+        phase2.extend(all_edge_constraint_rules("Dendrite", "has", "Branch"))
+        result = evaluate(phase2)
+        witnesses = witnesses_from_store(result.store)
+        assert len(witnesses) == 1
+        assert witnesses[0].kind == "w_all"
+
+    def test_anchored_objects_propagate_up_isa(self, small_dm):
+        rules = compile_domain_map(small_dm)
+        from repro.flogic import core_axioms
+
+        program = Program(rules)
+        program.extend(core_axioms())
+        program.add_fact("instance", "d1", "Dendrite")
+        result = evaluate(program)
+        instances = {str(a) for a in result.store.iter_atoms("instance")}
+        assert "instance(d1, 'Compartment')" in instances
+
+    def test_unknown_edge_rejected(self, small_dm):
+        with pytest.raises(DomainMapError):
+            compile_domain_map(
+                small_dm, assertions_for=[("Spine", "has", "Branch")]
+            )
+
+    def test_closure_rules_included(self, small_dm):
+        result = run(compile_domain_map(small_dm), [])
+        star = {
+            (a.args[0].value, a.args[1].value)
+            for a in result.store.iter_atoms("has_a_star")
+        }
+        assert ("Dendrite", "Branch") in star
+
+    def test_dm_rules_text_included(self, small_dm):
+        small_dm.add_rule("extra(X) :- concept(X).")
+        result = run(compile_domain_map(small_dm), [])
+        assert len(result.store.rows(("extra", 1))) == len(small_dm.concepts)
+
+
+class TestRegistration:
+    @pytest.fixture
+    def fig3_base(self):
+        dm = DomainMap("fig3")
+        dm.add_axioms(
+            """
+            Neuron < exists has.Compartment
+            Axon < Compartment
+            Dendrite < Compartment
+            Soma < Compartment
+            Spiny_Neuron < Neuron
+            Medium_Spiny_Neuron < Spiny_Neuron
+            Medium_Spiny_Neuron < exists proj.(Substantia_nigra_pr | Substantia_nigra_pc | Globus_Pallidus_External | Globus_Pallidus_Internal)
+            Medium_Spiny_Neuron < exists exp.(GABA | Substance_P | Dopamine_R)
+            GABA < Neurotransmitter
+            Neostriatum < exists has.Medium_Spiny_Neuron
+            """
+        )
+        return dm
+
+    FIG3_REGISTRATION = """
+        MyDendrite = Dendrite & exists exp.Dopamine_R
+        MyNeuron < Medium_Spiny_Neuron & exists proj.Globus_Pallidus_External & all has.MyDendrite
+    """
+
+    def test_new_concepts_added(self, fig3_base):
+        result = register_concepts(fig3_base, self.FIG3_REGISTRATION)
+        assert result.new_concepts == ["MyDendrite", "MyNeuron"]
+        assert "MyNeuron" in fig3_base.concepts
+
+    def test_derived_isa_edges(self, fig3_base):
+        register_concepts(fig3_base, self.FIG3_REGISTRATION)
+        from repro.domainmap import isa_closure
+
+        closure = isa_closure(fig3_base)
+        assert ("MyNeuron", "Medium_Spiny_Neuron") in closure
+        assert ("MyNeuron", "Neuron") in closure
+        assert ("MyDendrite", "Dendrite") in closure
+
+    def test_definite_projection_derived(self, fig3_base):
+        # "With the newly registered knowledge, it follows that MyNeuron
+        # definitely projects to Globus Palladius External."
+        register_concepts(fig3_base, self.FIG3_REGISTRATION)
+        assert definite_projections(fig3_base, "MyNeuron", "proj") == [
+            "Globus_Pallidus_External"
+        ]
+
+    def test_all_edge_recorded(self, fig3_base):
+        register_concepts(fig3_base, self.FIG3_REGISTRATION)
+        assert ("MyNeuron", "has", "MyDendrite") in fig3_base.all_triples()
+
+    def test_unknown_concept_reference_rejected(self, fig3_base):
+        with pytest.raises(UnknownConceptError):
+            register_concepts(fig3_base, "Mystery < UnknownBase")
+
+    def test_unknown_role_rejected_by_default(self, fig3_base):
+        with pytest.raises(UnknownRoleError):
+            register_concepts(fig3_base, "MyThing < exists newrole.Neuron")
+
+    def test_new_roles_allowed_when_opted_in(self, fig3_base):
+        result = register_concepts(
+            fig3_base, "MyThing < exists newrole.Neuron", allow_new_roles=True
+        )
+        assert "newrole" in fig3_base.roles
+        assert result.new_concepts == ["MyThing"]
+
+    def test_self_referencing_registration_allowed(self, fig3_base):
+        # Concepts defined within the same registration may reference
+        # each other (MyNeuron references MyDendrite).
+        result = register_concepts(fig3_base, self.FIG3_REGISTRATION)
+        assert len(result.new_axioms) == 2
+
+    def test_empty_registration_rejected(self, fig3_base):
+        with pytest.raises(DomainMapError):
+            register_concepts(fig3_base, "")
+
+    def test_result_describe(self, fig3_base):
+        result = register_concepts(fig3_base, self.FIG3_REGISTRATION)
+        text = result.describe()
+        assert "MyNeuron" in text
+        assert "derived isa edges" in text
+
+
+class TestSemanticIndex:
+    @pytest.fixture
+    def index(self, small_dm):
+        small_dm.add_axioms("Purkinje_Dendrite < Dendrite")
+        index = SemanticIndex(small_dm)
+        index.add_anchor("NCMIR", "protein_amount", "Purkinje_Dendrite")
+        index.add_anchor("SYNAPSE", "spine_measure", "Spine")
+        index.add_anchor("ANATOM", "region", "Compartment")
+        return index
+
+    def test_sources_for_exact_concept(self, index):
+        assert index.sources_for("Spine") == ["SYNAPSE"]
+
+    def test_sources_for_ancestor_includes_descendant_anchors(self, index):
+        # Data anchored at Purkinje_Dendrite IS Dendrite data.
+        assert index.sources_for("Dendrite") == ["NCMIR"]
+        assert index.sources_for("Compartment") == ["ANATOM", "NCMIR"]
+
+    def test_sources_for_without_descendants(self, index):
+        assert index.sources_for("Dendrite", include_descendants=False) == []
+
+    def test_sources_for_all(self, index):
+        index.add_anchor("NCMIR", "protein_amount", "Spine")
+        assert index.sources_for_all(["Spine", "Dendrite"]) == ["NCMIR"]
+
+    def test_sources_for_any(self, index):
+        assert index.sources_for_any(["Spine", "Dendrite"]) == [
+            "NCMIR",
+            "SYNAPSE",
+        ]
+
+    def test_concepts_of_source(self, index):
+        assert index.concepts_of_source("NCMIR") == ["Purkinje_Dendrite"]
+
+    def test_unknown_concept_anchor_rejected(self, index):
+        with pytest.raises(UnknownConceptError):
+            index.add_anchor("X", "c", "Cortex")
+
+    def test_object_anchors(self, index, small_dm):
+        index.add_object_anchor("SYNAPSE", "spine_001", "Spine")
+        assert index.objects_at("Spine") == [("SYNAPSE", "spine_001")]
+
+    def test_remove_source(self, index):
+        index.remove_source("NCMIR")
+        assert index.sources_for("Dendrite") == []
+        assert index.sources_for("Spine") == ["SYNAPSE"]
+
+    def test_coverage_report(self, index):
+        coverage = index.coverage()
+        assert coverage["Spine"] == ["SYNAPSE"]
+        assert len(index) == 3

@@ -1,0 +1,280 @@
+"""Tests for the DomainMap model and Section 4 graph operations."""
+
+import pytest
+
+from repro.datalog import evaluate
+from repro.errors import NoUpperBoundError, UnknownConceptError
+from repro.domainmap import (
+    DomainMap,
+    closure_program,
+    deductive_closure,
+    descendants,
+    downward_closure,
+    edge_census,
+    has_a_star,
+    isa_closure,
+    least_upper_bounds,
+    lub,
+    parse_axiom,
+    part_tree,
+    region_of_correspondence,
+    to_dot,
+    to_text,
+    transitive_closure,
+    upper_bounds,
+)
+
+
+@pytest.fixture
+def fig1():
+    """The Figure 1 domain map built from Example 1's DL statements."""
+    dm = DomainMap("anatom")
+    dm.add_axioms(
+        """
+        Neuron < exists has.Compartment
+        Axon < Compartment
+        Dendrite < Compartment
+        Soma < Compartment
+        Spiny_Neuron = Neuron & exists has.Spine
+        Purkinje_Cell < Spiny_Neuron
+        Pyramidal_Cell < Spiny_Neuron
+        Dendrite < exists has.Branch
+        Shaft < Branch & exists has.Spine
+        Spine < exists contains.Ion_Binding_Protein
+        Spine < Ion_Regulating_Component
+        Ion_Activity < exists subprocess_of.Neurotransmission
+        Ion_Binding_Protein < Protein & exists controls.Ion_Activity
+        Ion_Regulating_Component = exists regulates.Ion_Activity
+        """
+    )
+    return dm
+
+
+class TestDomainMapModel:
+    def test_auto_declared_vocabulary(self, fig1):
+        assert "Purkinje_Cell" in fig1.concepts
+        assert "has" in fig1.roles
+        assert "contains" in fig1.roles
+
+    def test_isa_pairs_from_decomposition(self, fig1):
+        pairs = fig1.isa_pairs()
+        assert ("Axon", "Compartment") in pairs
+        assert ("Spiny_Neuron", "Neuron") in pairs  # from the Eqv definition
+        assert ("Shaft", "Branch") in pairs  # from the Conj
+
+    def test_role_triples(self, fig1):
+        triples = fig1.role_triples()
+        assert ("Neuron", "has", "Compartment") in triples
+        assert ("Shaft", "has", "Spine") in triples
+        assert ("Spine", "contains", "Ion_Binding_Protein") in triples
+
+    def test_eqv_to_named_gives_mutual_isa(self):
+        dm = DomainMap("t")
+        dm.eqv("controls", "regulates_c")
+        assert ("controls", "regulates_c") in dm.isa_pairs()
+        assert ("regulates_c", "controls") in dm.isa_pairs()
+
+    def test_convenience_edge_constructors(self):
+        dm = DomainMap("t")
+        dm.isa("A", "B")
+        dm.ex("A", "r", "C")
+        dm.all_values("A", "r", "D")
+        assert ("A", "B") in dm.isa_pairs()
+        assert ("A", "r", "C") in dm.role_triples()
+        assert ("A", "r", "D") in dm.all_triples()
+
+    def test_disjunction_renders_or_node(self):
+        dm = DomainMap("t")
+        dm.add_axiom("M < exists proj.(A | B)")
+        kinds = {e.kind for e in dm.edges()}
+        or_nodes = {
+            e.dst for e in dm.edges() if e.dst.startswith("OR#")
+        }
+        assert or_nodes  # the ex edge targets a synthetic OR node
+        assert "ex" in kinds
+
+    def test_edge_census(self, fig1):
+        census = edge_census(fig1)
+        assert census["ex"] == 10
+        assert census["isa"] == 10
+        assert census["eqv"] == 2
+
+    def test_graph_nodes_and_kinds(self, fig1):
+        graph = fig1.graph()
+        assert graph.nodes["Neuron"]["kind"] == "concept"
+        assert graph.number_of_edges() >= 20
+
+    def test_copy_is_independent(self, fig1):
+        clone = fig1.copy("clone")
+        clone.isa("NewThing", "Neuron")
+        assert "NewThing" in clone.concepts
+        assert "NewThing" not in fig1.concepts
+
+    def test_require_concept(self, fig1):
+        fig1.require_concept("Neuron")
+        with pytest.raises(UnknownConceptError):
+            fig1.require_concept("Cortex")
+
+    def test_describe_lists_axioms(self, fig1):
+        text = fig1.describe()
+        assert "14 axioms" in text
+        assert "Spiny_Neuron" in text
+
+
+class TestClosures:
+    def test_transitive_closure_basic(self):
+        closure = transitive_closure({("a", "b"), ("b", "c")})
+        assert closure == {("a", "b"), ("b", "c"), ("a", "c")}
+
+    def test_isa_closure_transitive(self, fig1):
+        closure = isa_closure(fig1)
+        assert ("Purkinje_Cell", "Neuron") in closure
+
+    def test_isa_closure_reflexive_option(self, fig1):
+        assert ("Neuron", "Neuron") in isa_closure(fig1, reflexive=True)
+        assert ("Neuron", "Neuron") not in isa_closure(fig1, reflexive=False)
+
+    def test_deductive_closure_down_propagation(self, fig1):
+        # Purkinje_Cell inherits `has Spine` from Spiny_Neuron.
+        dc = deductive_closure(fig1, "has")
+        assert ("Purkinje_Cell", "Spine") in dc
+
+    def test_deductive_closure_up_propagation(self, fig1):
+        # Shaft has Spine; Spine isa Ion_Regulating_Component.
+        dc = deductive_closure(fig1, "has")
+        assert ("Shaft", "Ion_Regulating_Component") in dc
+
+    def test_deductive_closure_includes_base(self, fig1):
+        dc = deductive_closure(fig1, "has")
+        assert ("Neuron", "Compartment") in dc
+
+    def test_deductive_closure_both_ends(self, fig1):
+        # Purkinje (below Spiny) has Spine which isa IRC: needs both ends.
+        dc = deductive_closure(fig1, "has")
+        assert ("Purkinje_Cell", "Ion_Regulating_Component") in dc
+
+    def test_mode_variants_nest(self, fig1):
+        down = deductive_closure(fig1, "has", mode="down")
+        paper = deductive_closure(fig1, "has", mode="paper")
+        full = deductive_closure(fig1, "has", mode="full")
+        assert down <= paper <= full
+
+    def test_down_mode_keeps_targets(self, fig1):
+        down = deductive_closure(fig1, "has", mode="down")
+        assert ("Purkinje_Cell", "Spine") in down
+        assert ("Shaft", "Ion_Regulating_Component") not in down
+
+    def test_has_a_star_not_transitive(self, fig1):
+        # Dendrite has Branch, Shaft has Spine, but Dendrite-has-Spine is
+        # NOT a direct inferable link (Branch is above Shaft).
+        star = has_a_star(fig1, "has")
+        assert ("Dendrite", "Branch") in star
+        assert ("Dendrite", "Spine") not in star
+
+    def test_datalog_backend_equivalent(self, fig1):
+        result = evaluate(closure_program(fig1))
+        datalog_star = {
+            (a.args[0].value, a.args[1].value)
+            for a in result.store.iter_atoms("has_a_star")
+        }
+        assert datalog_star == has_a_star(fig1, "has")
+
+    def test_datalog_backend_dc_other_roles(self, fig1):
+        result = evaluate(closure_program(fig1))
+        datalog_dc = {
+            (a.args[1].value, a.args[2].value)
+            for a in result.store.iter_atoms("dc_role")
+            if a.args[0].value == "contains"
+        }
+        assert datalog_dc == deductive_closure(fig1, "contains")
+
+
+class TestLub:
+    def test_lub_isa_order(self, fig1):
+        assert lub(fig1, ["Axon", "Dendrite"]) == "Compartment"
+
+    def test_lub_reflexive_case(self, fig1):
+        assert lub(fig1, ["Compartment", "Axon"]) == "Compartment"
+
+    def test_lub_single_concept(self, fig1):
+        assert lub(fig1, ["Spine"]) == "Spine"
+
+    def test_lub_containment_order(self, fig1):
+        # Spine sits below Shaft below Branch in the containment walk.
+        assert lub(fig1, ["Spine", "Branch"], order="has") == "Branch"
+
+    def test_no_upper_bound_raises(self, fig1):
+        with pytest.raises(NoUpperBoundError):
+            lub(fig1, ["Spine", "Branch"])  # no common isa ancestor
+
+    def test_empty_set_raises(self, fig1):
+        with pytest.raises(NoUpperBoundError):
+            lub(fig1, [])
+
+    def test_unknown_concept_raises(self, fig1):
+        with pytest.raises(UnknownConceptError):
+            lub(fig1, ["Spine", "Cortex"])
+
+    def test_multiple_lubs_reported(self):
+        dm = DomainMap("diamond")
+        dm.isa("x", "p")
+        dm.isa("x", "q")
+        dm.isa("y", "p")
+        dm.isa("y", "q")
+        assert least_upper_bounds(dm, ["x", "y"]) == ["p", "q"]
+        assert lub(dm, ["x", "y"]) == "p"  # deterministic tie-break
+
+    def test_upper_bounds_include_all_ancestors(self, fig1):
+        bounds = upper_bounds(fig1, ["Purkinje_Cell", "Pyramidal_Cell"])
+        assert {"Spiny_Neuron", "Neuron"} <= bounds
+
+
+class TestTraversal:
+    def test_part_tree_descends_isa(self, fig1):
+        nodes = set(part_tree(fig1, "Dendrite", "has").nodes)
+        assert {"Dendrite", "Branch", "Shaft", "Spine"} <= nodes
+
+    def test_part_tree_excludes_unrelated(self, fig1):
+        nodes = set(part_tree(fig1, "Dendrite", "has").nodes)
+        assert "Axon" not in nodes
+        assert "Neurotransmission" not in nodes
+
+    def test_downward_closure_from_neuron(self, fig1):
+        closure = downward_closure(fig1, "Neuron", "has")
+        assert {"Compartment", "Dendrite", "Branch", "Shaft", "Spine"} <= closure
+
+    def test_part_tree_without_isa_descent(self, fig1):
+        nodes = set(part_tree(fig1, "Dendrite", "has", include_isa=False).nodes)
+        assert "Shaft" not in nodes  # only reachable via Branch's isa-down
+
+    def test_region_of_correspondence(self, fig1):
+        region = region_of_correspondence(fig1, ["Spine", "Branch"], role="has")
+        nodes = set(region.nodes)
+        assert {"Branch", "Shaft", "Spine"} <= nodes
+        assert "Axon" not in nodes
+
+    def test_part_tree_unknown_root(self, fig1):
+        with pytest.raises(UnknownConceptError):
+            part_tree(fig1, "Cortex", "has")
+
+
+class TestRendering:
+    def test_dot_contains_nodes_and_labels(self, fig1):
+        dot = to_dot(fig1)
+        assert '"Purkinje_Cell"' in dot
+        assert 'label="has"' in dot
+        assert dot.startswith("digraph")
+
+    def test_dot_highlights(self, fig1):
+        dot = to_dot(fig1, highlight=["Neuron"])
+        assert "gray25" in dot
+
+    def test_dot_synthetic_nodes(self):
+        dm = DomainMap("t")
+        dm.add_axiom("M < exists proj.(A | B)")
+        dot = to_dot(dm)
+        assert 'label="OR"' in dot
+
+    def test_text_listing_deterministic(self, fig1):
+        assert to_text(fig1) == to_text(fig1)
+        assert "-[has]->" in to_text(fig1)

@@ -1,0 +1,71 @@
+"""Tests for domain-map rendering."""
+
+import pytest
+
+from repro.domainmap import DomainMap, edge_census, to_dot, to_text
+
+
+@pytest.fixture
+def dm():
+    out = DomainMap("demo map")
+    out.add_axioms(
+        """
+        'Purkinje Cell' < Neuron
+        Neuron < exists has.Compartment
+        Spiny = Neuron & exists has.Spine
+        M < exists proj.(A | B)
+        M < all has.D
+        """
+    )
+    return out
+
+
+class TestDot:
+    def test_valid_header_and_nodes(self, dm):
+        dot = to_dot(dm)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"Neuron"' in dot
+
+    def test_names_with_spaces_escaped(self, dm):
+        dot = to_dot(dm)
+        assert '"Purkinje Cell"' in dot
+
+    def test_edge_labels(self, dm):
+        dot = to_dot(dm)
+        assert 'label="has"' in dot
+        assert 'label="ALL: has"' in dot
+        assert 'label="="' in dot
+
+    def test_isa_edges_gray(self, dm):
+        assert 'color="gray60"' in to_dot(dm)
+
+    def test_synthetic_nodes_diamond(self, dm):
+        dot = to_dot(dm)
+        assert "shape=diamond" in dot
+        assert 'label="OR"' in dot
+        assert 'label="AND"' in dot
+
+    def test_highlight(self, dm):
+        dot = to_dot(dm, highlight=["Neuron"])
+        assert "fillcolor" in dot
+
+    def test_rankdir_option(self, dm):
+        assert "rankdir=LR" in to_dot(dm, rankdir="LR")
+
+
+class TestTextAndCensus:
+    def test_text_header_counts(self, dm):
+        text = to_text(dm)
+        assert "demo map" in text
+        assert "concepts" in text
+
+    def test_text_deterministic(self, dm):
+        assert to_text(dm) == to_text(dm)
+
+    def test_census_kinds(self, dm):
+        census = edge_census(dm)
+        assert census["all"] == 1
+        assert census["eqv"] == 1
+        assert census["ex"] >= 2
+        assert census["isa"] >= 2

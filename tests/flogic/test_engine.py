@@ -1,0 +1,251 @@
+"""Unit + integration tests for the FLogicEngine facade."""
+
+import pytest
+
+from repro.flogic import FLogicEngine
+
+
+@pytest.fixture
+def neuro_kb():
+    engine = FLogicEngine()
+    engine.tell(
+        """
+        neuron[has => compartment].
+        axon :: compartment.  dendrite :: compartment.  soma :: compartment.
+        spiny_neuron :: neuron.
+        purkinje_cell :: spiny_neuron.
+        pyramidal_cell :: spiny_neuron.
+        p1 : purkinje_cell.
+        p1[age -> 12; location -> 'Purkinje Cell'].
+        """
+    )
+    return engine
+
+
+class TestClassHierarchy:
+    def test_isa_upward_propagation(self, neuro_kb):
+        assert neuro_kb.holds("p1 : neuron")
+        assert neuro_kb.holds("p1 : spiny_neuron")
+
+    def test_subclass_transitive(self, neuro_kb):
+        assert neuro_kb.holds("purkinje_cell :: neuron")
+
+    def test_subclass_reflexive_on_classes(self, neuro_kb):
+        assert neuro_kb.holds("neuron :: neuron")
+
+    def test_not_member_of_sibling(self, neuro_kb):
+        assert not neuro_kb.holds("p1 : pyramidal_cell")
+
+    def test_subclasses_of(self, neuro_kb):
+        assert set(neuro_kb.subclasses_of("neuron")) == {
+            "neuron",
+            "spiny_neuron",
+            "purkinje_cell",
+            "pyramidal_cell",
+        }
+
+    def test_instances_of(self, neuro_kb):
+        assert neuro_kb.instances_of("neuron") == ["p1"]
+
+    def test_classes_include_used_names(self, neuro_kb):
+        classes = neuro_kb.classes()
+        assert "neuron" in classes
+        assert "compartment" in classes
+
+    def test_signature_inherited_down(self, neuro_kb):
+        rows = neuro_kb.ask("purkinje_cell[has => T]")
+        assert {r["T"] for r in rows} == {"compartment"}
+
+
+class TestFramesAndQueries:
+    def test_frame_query(self, neuro_kb):
+        rows = neuro_kb.ask("p1[age -> A]")
+        assert rows == [{"A": 12}]
+
+    def test_multi_spec_query(self, neuro_kb):
+        rows = neuro_kb.ask("p1[age -> A; location -> L]")
+        assert rows == [{"A": 12, "L": "Purkinje Cell"}]
+
+    def test_query_by_value(self, neuro_kb):
+        rows = neuro_kb.ask("X[location -> 'Purkinje Cell']")
+        assert rows == [{"X": "p1"}]
+
+    def test_variable_method_query(self, neuro_kb):
+        rows = neuro_kb.ask("p1[M -> V]")
+        assert {r["M"] for r in rows} == {"age", "location"}
+
+    def test_ground_query_true(self, neuro_kb):
+        assert neuro_kb.ask("p1[age -> 12]") == [{}]
+
+    def test_ground_query_false(self, neuro_kb):
+        assert neuro_kb.ask("p1[age -> 13]") == []
+
+    def test_holds(self, neuro_kb):
+        assert neuro_kb.holds("p1 : purkinje_cell")
+        assert not neuro_kb.holds("p1 : axon")
+
+
+class TestRulesAndDerivation:
+    def test_derived_frame(self):
+        engine = FLogicEngine()
+        engine.tell(
+            """
+            s1 : spine[len -> 2].
+            s2 : spine[len -> 9].
+            X : long_spine :- X : spine[len -> L], L > 5.
+            """
+        )
+        assert engine.instances_of("long_spine") == ["s2"]
+
+    def test_rule_derives_method_value(self):
+        engine = FLogicEngine()
+        engine.tell(
+            """
+            s1 : spine[len_um -> 2].
+            X[len_nm -> N] :- X : spine[len_um -> L], N is L * 1000.
+            """
+        )
+        assert engine.ask("s1[len_nm -> N]") == [{"N": 2000}]
+
+    def test_chained_derived_values(self):
+        # method_inst derived from method_val: positive recursion is fine.
+        engine = FLogicEngine()
+        engine.tell(
+            """
+            a[v -> 1].
+            b[v -> V] :- a[v -> V].
+            c[v -> V] :- b[v -> V].
+            """
+        )
+        assert engine.ask("c[v -> V]") == [{"V": 1}]
+
+    def test_conjunctive_head(self):
+        engine = FLogicEngine()
+        engine.tell(
+            """
+            x : c.
+            Y : d, link(X, Y) :- X : c, Y = f(X).
+            """
+        )
+        assert len(engine.ask("Y : d")) == 1
+        assert len(engine.ask("link(X, Y)")) == 1
+
+    def test_schema_level_reasoning(self):
+        # Rules can range over schema atoms (the paper's Example 2 power).
+        engine = FLogicEngine()
+        engine.tell(
+            """
+            neuron[has => compartment].
+            neuron[exp => protein].
+            multi_slot(C) :- C[M1 => T1], C[M2 => T2], M1 != M2.
+            """
+        )
+        assert engine.holds("multi_slot(neuron)")
+
+
+class TestNonmonotonicInheritance:
+    def test_default_inherited(self):
+        engine = FLogicEngine()
+        engine.tell("vehicle[wheels *-> 4]. v1 : vehicle.")
+        assert engine.ask("v1[wheels -> W]") == [{"W": 4}]
+
+    def test_more_specific_class_overrides(self):
+        engine = FLogicEngine()
+        engine.tell(
+            """
+            vehicle[wheels *-> 4].
+            motorcycle :: vehicle.
+            motorcycle[wheels *-> 2].
+            m1 : motorcycle.
+            """
+        )
+        assert engine.ask("m1[wheels -> W]") == [{"W": 2}]
+
+    def test_local_value_overrides_default(self):
+        engine = FLogicEngine()
+        engine.tell(
+            """
+            vehicle[wheels *-> 4].
+            m2 : vehicle.
+            m2[wheels -> 3].
+            """
+        )
+        assert engine.ask("m2[wheels -> W]") == [{"W": 3}]
+
+    def test_unrelated_instances_keep_default(self):
+        engine = FLogicEngine()
+        engine.tell(
+            """
+            vehicle[wheels *-> 4].
+            motorcycle :: vehicle.
+            motorcycle[wheels *-> 2].
+            v1 : vehicle.
+            """
+        )
+        assert engine.ask("v1[wheels -> W]") == [{"W": 4}]
+
+    def test_default_not_visible_without_instances(self):
+        engine = FLogicEngine()
+        engine.tell("vehicle[wheels *-> 4].")
+        assert engine.ask("X[wheels -> W]") == []
+
+
+class TestWellFoundedIntegration:
+    def test_self_defeating_assertion_is_undefined(self):
+        # The paper's literal assertion rule (Section 4) is an odd loop:
+        # the created placeholder falsifies its own guard.  Under the
+        # well-founded semantics those facts are undefined, hence not
+        # returned as true answers.
+        engine = FLogicEngine()
+        engine.tell(
+            """
+            c1 : c.
+            Y : d, r(X, Y) :- X : c, not (Z : d, r(X, Z)), Y = f(X).
+            """
+        )
+        assert engine.ask("Y : d") == []
+        result = engine.evaluate()
+        assert result.used_well_founded
+        undefined = {str(a) for a in result.undefined.iter_atoms("instance")}
+        assert "instance(f(c1), d)" in undefined
+
+    def test_guard_on_base_facts_is_total(self):
+        # Guarding the assertion on source-stated facts (as the domain
+        # map execution layer does) keeps the model total.
+        engine = FLogicEngine()
+        engine.tell_datalog(
+            """
+            stated_rel(x1, y1).
+            c_obj(x1). c_obj(x2).
+            filled(X) :- stated_rel(X, _).
+            placeholder(X) :- c_obj(X), not filled(X).
+            """
+        )
+        result = engine.evaluate()
+        placeholders = {str(a) for a in result.store.iter_atoms("placeholder")}
+        assert placeholders == {"placeholder(x2)"}
+
+
+class TestTellInterfaces:
+    def test_tell_datalog_text(self):
+        engine = FLogicEngine()
+        engine.tell_datalog("edge(a, b). path(X, Y) :- edge(X, Y).")
+        assert engine.ask("path(X, Y)") == [{"X": "a", "Y": "b"}]
+
+    def test_add_fact(self):
+        engine = FLogicEngine()
+        engine.add_fact("instance", "n1", "neuron")
+        assert engine.holds("n1 : neuron")
+
+    def test_incremental_tell_invalidates_cache(self):
+        engine = FLogicEngine()
+        engine.tell("a : c.")
+        assert engine.instances_of("c") == ["a"]
+        engine.tell("b : c.")
+        assert engine.instances_of("c") == ["a", "b"]
+
+    def test_aggregate_query(self):
+        engine = FLogicEngine()
+        engine.tell("has(n1, a1). has(n1, a2). has(n2, a3).")
+        rows = engine.ask("N = count{VB [VA]; has(VA, VB)}")
+        assert rows == [{"N": 1, "VA": "n2"}, {"N": 2, "VA": "n1"}]

@@ -1,0 +1,184 @@
+"""Unit tests for the F-logic parser."""
+
+import pytest
+
+from repro.datalog.terms import Const, Struct, Var
+from repro.errors import FLogicParseError
+from repro.flogic import (
+    FLAggregate,
+    FLAssignment,
+    FLComparison,
+    FLNegation,
+    FLPredicate,
+    Molecule,
+    parse_fl_body,
+    parse_fl_program,
+    parse_fl_rule,
+)
+
+
+class TestMolecules:
+    def test_isa(self):
+        rule = parse_fl_rule("p1 : purkinje_cell.")
+        mol = rule.heads[0]
+        assert isinstance(mol, Molecule)
+        assert mol.subject == Const("p1")
+        assert mol.tag_kind == ":"
+        assert mol.tag == Const("purkinje_cell")
+
+    def test_subclass(self):
+        mol = parse_fl_rule("axon :: compartment.").heads[0]
+        assert mol.tag_kind == "::"
+
+    def test_quoted_names(self):
+        mol = parse_fl_rule("'Purkinje Cell' :: 'Spiny Neuron'.").heads[0]
+        assert mol.subject == Const("Purkinje Cell")
+        assert mol.tag == Const("Spiny Neuron")
+
+    def test_data_frame_scalar(self):
+        mol = parse_fl_rule("p1[age -> 12].").heads[0]
+        spec = mol.specs[0]
+        assert spec.arrow == "->"
+        assert spec.method == Const("age")
+        assert spec.values == (Const(12),)
+
+    def test_data_frame_multivalued_set(self):
+        mol = parse_fl_rule("s1[exp ->> {gaba, substance_p}].").heads[0]
+        spec = mol.specs[0]
+        assert spec.arrow == "->>"
+        assert spec.values == (Const("gaba"), Const("substance_p"))
+
+    def test_signature_frame(self):
+        mol = parse_fl_rule("neuron[has => compartment].").heads[0]
+        assert mol.specs[0].arrow == "=>"
+        assert mol.specs[0].is_signature
+
+    def test_multivalued_signature(self):
+        mol = parse_fl_rule("neuron[has =>> compartment].").heads[0]
+        assert mol.specs[0].arrow == "=>>"
+
+    def test_default_frame(self):
+        mol = parse_fl_rule("vehicle[wheels *-> 4].").heads[0]
+        assert mol.specs[0].arrow == "*->"
+        assert mol.specs[0].is_default
+
+    def test_multiple_specs_semicolon_separated(self):
+        mol = parse_fl_rule("p1[age -> 12; location -> hippocampus].").heads[0]
+        assert len(mol.specs) == 2
+
+    def test_combined_tag_and_frame(self):
+        mol = parse_fl_rule("D : dist[root -> P].").heads[0]
+        assert mol.tag_kind == ":"
+        assert mol.tag == Const("dist")
+        assert len(mol.specs) == 1
+
+    def test_anonymous_molecule(self):
+        body = parse_fl_body(": r[a -> VA]")
+        mol = body[0]
+        assert isinstance(mol.subject, Var)
+        assert mol.tag == Const("r")
+
+    def test_variable_method_name(self):
+        mol = parse_fl_rule("X[M -> V] :- q(X, M, V).").heads[0]
+        assert mol.specs[0].method == Var("M")
+
+    def test_struct_subject(self):
+        mol = parse_fl_rule("f(X) : d :- X : c.").heads[0]
+        assert mol.subject == Struct("f", (Var("X"),))
+
+
+class TestBodies:
+    def test_plain_predicate(self):
+        body = parse_fl_body("r(X, Y)")
+        assert body[0] == FLPredicate("r", (Var("X"), Var("Y")))
+
+    def test_zero_arity_predicate_in_body(self):
+        rule = parse_fl_rule("p(a) :- go.")
+        assert rule.body[0] == FLPredicate("go", ())
+
+    def test_comparison(self):
+        body = parse_fl_body("X != 3")
+        assert body[0] == FLComparison("!=", Var("X"), Const(3))
+
+    def test_equality_with_struct(self):
+        body = parse_fl_body("Y = f(X)")
+        assert body[0] == FLComparison("=", Var("Y"), Struct("f", (Var("X"),)))
+
+    def test_assignment(self):
+        body = parse_fl_body("Y is X + 1")
+        assert isinstance(body[0], FLAssignment)
+
+    def test_negated_single(self):
+        body = parse_fl_body("not r(X, Y)")
+        neg = body[0]
+        assert isinstance(neg, FLNegation)
+        assert len(neg.items) == 1
+
+    def test_negated_conjunction(self):
+        body = parse_fl_body("not (Z : d, r(X, Z))")
+        neg = body[0]
+        assert isinstance(neg, FLNegation)
+        assert len(neg.items) == 2
+
+    def test_aggregate(self):
+        body = parse_fl_body("N = count{VA [VB]; r(VA, VB)}")
+        agg = body[0]
+        assert isinstance(agg, FLAggregate)
+        assert agg.func == "count"
+        assert agg.group_by == (Var("VB"),)
+
+    def test_aggregate_with_molecule_body(self):
+        body = parse_fl_body("N = count{VB [VA]; : r[a -> VA; b -> VB]}")
+        agg = body[0]
+        assert isinstance(agg.body[0], Molecule)
+
+    def test_molecule_in_body(self):
+        body = parse_fl_body("X : c[m -> V]")
+        mol = body[0]
+        assert mol.tag == Const("c")
+        assert mol.specs[0].values == (Var("V"),)
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_fl_rule("p1 : c.")
+        assert rule.is_fact
+
+    def test_rule_with_body(self):
+        rule = parse_fl_rule("X : b :- X : a.")
+        assert not rule.is_fact
+        assert len(rule.body) == 1
+
+    def test_conjunctive_head(self):
+        rule = parse_fl_rule("Y : d, r(X, Y) :- X : c, Y = f(X).")
+        assert len(rule.heads) == 2
+
+    def test_negation_rejected_in_head(self):
+        with pytest.raises(FLogicParseError):
+            parse_fl_rule("not p(X) :- q(X).")
+
+    def test_comparison_rejected_in_head(self):
+        with pytest.raises(FLogicParseError):
+            parse_fl_rule("X = 3 :- q(X).")
+
+    def test_program_with_comments(self):
+        rules = parse_fl_program(
+            """
+            % the SYNAPSE world
+            spine :: ion_regulating_component.
+            s1 : spine.   % an instance
+            """
+        )
+        assert len(rules) == 2
+
+    def test_missing_period(self):
+        with pytest.raises(FLogicParseError):
+            parse_fl_rule("p1 : c")
+
+    def test_str_roundtrip(self):
+        text = "D : pd[name -> Y; amount ->> {1, 2}] :- X : c, not r(X), N = count{V; q(V)}."
+        rule = parse_fl_rule(text)
+        reparsed = parse_fl_rule(str(rule))
+        # Fresh anonymous variables differ, so compare shape only.
+        assert len(reparsed.heads) == len(rule.heads)
+        assert len(reparsed.body) == len(rule.body)

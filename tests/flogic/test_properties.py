@@ -1,0 +1,87 @@
+"""Property-based tests for F-logic translation and evaluation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.ast import Literal
+from repro.flogic import FLogicEngine, Translator, parse_fl_program
+
+symbols = st.sampled_from(["a", "b", "c", "neuron", "spine", "axon"])
+methods = st.sampled_from(["m1", "m2", "len", "loc"])
+values = st.one_of(st.integers(-5, 5), symbols)
+
+
+@st.composite
+def fl_fact_texts(draw):
+    """Random ground F-logic facts as source text."""
+    kind = draw(st.sampled_from(["isa", "sub", "frame", "sig", "pred"]))
+    if kind == "isa":
+        return "%s : %s." % (draw(symbols), draw(symbols))
+    if kind == "sub":
+        return "%s :: %s." % (draw(symbols), draw(symbols))
+    if kind == "frame":
+        return "%s[%s -> %s]." % (draw(symbols), draw(methods), draw(values))
+    if kind == "sig":
+        return "%s[%s => %s]." % (draw(symbols), draw(methods), draw(symbols))
+    return "r(%s, %s)." % (draw(symbols), draw(symbols))
+
+
+class TestTranslationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(fl_fact_texts(), min_size=1, max_size=10))
+    def test_facts_translate_to_ground_facts(self, texts):
+        rules = Translator().translate_rules(parse_fl_program("\n".join(texts)))
+        for rule in rules:
+            assert rule.is_fact
+            assert rule.head.is_ground()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(fl_fact_texts(), min_size=1, max_size=10))
+    def test_translation_idempotent(self, texts):
+        program = "\n".join(texts)
+        first = Translator().translate_rules(parse_fl_program(program))
+        second = Translator().translate_rules(parse_fl_program(program))
+        assert [str(r) for r in first] == [str(r) for r in second]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(fl_fact_texts(), min_size=1, max_size=8))
+    def test_told_facts_are_answerable(self, texts):
+        engine = FLogicEngine()
+        engine.tell("\n".join(texts))
+        for text in texts:
+            # every told fact must hold as a query (strip the period)
+            assert engine.holds(text[:-1]), text
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.tuples(symbols, symbols), min_size=0, max_size=8),
+        symbols,
+        symbols,
+    )
+    def test_membership_respects_subclass_closure(self, subclasses, obj, cls):
+        engine = FLogicEngine()
+        for sub, sup in subclasses:
+            engine.tell("%s :: %s." % (sub, sup))
+        engine.tell("%s : %s." % (obj, cls))
+        # obj must be an instance of every (transitive) superclass
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_edges_from(subclasses)
+        reachable = {cls}
+        if cls in graph:
+            reachable |= nx.descendants(graph, cls)
+        for sup in reachable:
+            assert engine.holds("%s : %s" % (obj, sup))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(symbols, methods, values), min_size=0, max_size=8))
+    def test_frame_values_roundtrip(self, triples):
+        engine = FLogicEngine()
+        for obj, method, value in triples:
+            rendered = value if isinstance(value, int) else value
+            engine.tell("%s[%s -> %s]." % (obj, method, rendered))
+        for obj, method, value in triples:
+            rows = engine.ask("%s[%s -> V]" % (obj, method))
+            assert {row["V"] for row in rows} >= {value}

@@ -1,0 +1,286 @@
+"""Tests for integrity constraints (Examples 2 and 3 of the paper)."""
+
+import pytest
+
+from repro.errors import ConstraintViolation, SchemaError
+from repro.gcm import (
+    ConceptualModel,
+    Constraint,
+    cardinality_constraint,
+    check,
+    constraint_from_text,
+    existential_edge_constraint,
+    key_constraint,
+    partial_order_constraint,
+    referential_constraint,
+    scalar_method_constraint,
+    universal_edge_constraint,
+)
+
+
+def make_cm():
+    cm = ConceptualModel("t")
+    cm.add_class("neuron")
+    cm.add_class("axon")
+    cm.add_relation("has", [("whole", "neuron"), ("part", "axon")])
+    return cm
+
+
+class TestPartialOrder:
+    """Example 2: rules (1)-(3) over R and C."""
+
+    def test_consistent_hierarchy(self):
+        cm = ConceptualModel("t")
+        cm.add_class("a")
+        cm.add_class("b", superclasses=["a"])
+        cm.add_class("c", superclasses=["b"])
+        report = check(cm, [partial_order_constraint("subclass", "class")])
+        assert report.ok
+
+    def test_cycle_detected_by_antisymmetry(self):
+        cm = ConceptualModel("t")
+        cm.add_class("a", superclasses=["b"])
+        cm.add_class("b", superclasses=["a"])
+        report = check(cm, [partial_order_constraint("subclass", "class")])
+        assert report.kinds() == ["was"]
+        assert len(report) == 2  # (a,b) and (b,a)
+
+    def test_reflexivity_violation_on_plain_relation(self):
+        # A user relation without the reflexivity axiom of '::'.
+        cm = ConceptualModel("t")
+        cm.add_class("node")
+        cm.add_instance("x", "node")
+        cm.add_datalog("r(x, x2).")
+        report = check(cm, [partial_order_constraint("r", "node")])
+        assert "wrc" in report.kinds()
+
+    def test_transitivity_violation(self):
+        cm = ConceptualModel("t")
+        cm.add_class("node")
+        for obj in ("x", "y", "z"):
+            cm.add_instance(obj, "node")
+        cm.add_datalog("r(x, x). r(y, y). r(z, z). r(x, y). r(y, z).")
+        report = check(cm, [partial_order_constraint("r", "node")])
+        kinds = report.by_kind()
+        assert "wtc" in kinds
+        contexts = {w.context for w in kinds["wtc"]}
+        assert ("node", "r", "x", "y", "z") in contexts
+
+    def test_witness_context_identifies_violation(self):
+        cm = ConceptualModel("t")
+        cm.add_class("a", superclasses=["b"])
+        cm.add_class("b", superclasses=["a"])
+        report = check(cm, [partial_order_constraint("subclass", "class")])
+        contexts = {w.context for w in report}
+        assert ("class", "subclass", "a", "b") in contexts
+
+
+class TestCardinality:
+    """Example 3: has(neuron, axon) with card_A = 1 and card_B <= 2."""
+
+    def constraints(self):
+        return [
+            cardinality_constraint("has", 2, counted_position=0, exact=1),
+            cardinality_constraint("has", 2, counted_position=1, max_count=2),
+        ]
+
+    def test_consistent_data(self):
+        cm = make_cm()
+        cm.add_relation_instance("has", whole="n1", part="a1")
+        cm.add_relation_instance("has", whole="n1", part="a2")
+        assert check(cm, self.constraints()).ok
+
+    def test_axon_in_two_neurons(self):
+        cm = make_cm()
+        cm.add_relation_instance("has", whole="n1", part="a1")
+        cm.add_relation_instance("has", whole="n2", part="a1")
+        report = check(cm, self.constraints())
+        kinds = report.by_kind()
+        assert "w_card_neq" in kinds
+        assert kinds["w_card_neq"][0].context == ("has", 0, "a1", 2)
+
+    def test_neuron_with_three_axons(self):
+        cm = make_cm()
+        for axon in ("a1", "a2", "a3"):
+            cm.add_relation_instance("has", whole="n1", part=axon)
+        report = check(cm, self.constraints())
+        kinds = report.by_kind()
+        assert "w_card_gt" in kinds
+        assert kinds["w_card_gt"][0].context == ("has", 1, "n1", 3)
+
+    def test_min_count_with_group_class(self):
+        cm = make_cm()
+        cm.add_instance("n1", "neuron")
+        cm.add_instance("n2", "neuron")
+        cm.add_relation_instance("has", whole="n1", part="a1")
+        constraint = cardinality_constraint(
+            "has", 2, counted_position=1, min_count=1, group_class="neuron"
+        )
+        report = check(cm, [constraint])
+        # n2 has no axons at all -> zero-count witness
+        kinds = report.by_kind()
+        assert "w_card_lt" in kinds
+        assert kinds["w_card_lt"][0].context == ("has", 1, "n2", 0)
+
+    def test_min_count_requires_group_class(self):
+        with pytest.raises(SchemaError):
+            cardinality_constraint("has", 2, counted_position=1, min_count=1)
+
+    def test_exactly_one_bound_spec(self):
+        with pytest.raises(SchemaError):
+            cardinality_constraint("has", 2, counted_position=0)
+        with pytest.raises(SchemaError):
+            cardinality_constraint(
+                "has", 2, counted_position=0, exact=1, max_count=2
+            )
+
+    def test_position_bounds_checked(self):
+        with pytest.raises(SchemaError):
+            cardinality_constraint("has", 2, counted_position=2, exact=1)
+
+    def test_ternary_relation_grouping(self):
+        cm = ConceptualModel("t")
+        cm.add_class("a")
+        cm.add_relation("m", [("x", "a"), ("y", "a"), ("z", "a")])
+        cm.add_relation_instance("m", x="1", y="g", z="h")
+        cm.add_relation_instance("m", x="2", y="g", z="h")
+        constraint = cardinality_constraint("m", 3, counted_position=0, max_count=1)
+        report = check(cm, [constraint])
+        assert len(report) == 1
+        assert report.witnesses[0].context == ("m", 0, "g", "h", 2)
+
+
+class TestOtherConstraints:
+    def test_scalar_method(self):
+        cm = ConceptualModel("t")
+        cm.add_class("neuron", methods={"location": "string"})
+        cm.add_instance("n1", "neuron")
+        cm.set_value("n1", "location", "cerebellum")
+        cm.set_value("n1", "location", "hippocampus")
+        report = check(cm, [scalar_method_constraint("neuron", "location")])
+        assert report.kinds() == ["w_scalar"]
+
+    def test_scalar_method_single_value_ok(self):
+        cm = ConceptualModel("t")
+        cm.add_class("neuron", methods={"location": "string"})
+        cm.add_instance("n1", "neuron")
+        cm.set_value("n1", "location", "cerebellum")
+        assert check(cm, [scalar_method_constraint("neuron", "location")]).ok
+
+    def test_key_constraint_violated(self):
+        cm = ConceptualModel("t")
+        cm.add_class("protein", methods={"name": "string"})
+        for obj in ("p1", "p2"):
+            cm.add_instance(obj, "protein")
+            cm.set_value(obj, "name", "calbindin")
+        report = check(cm, [key_constraint("protein", ["name"])])
+        assert report.kinds() == ["w_key"]
+
+    def test_key_constraint_satisfied(self):
+        cm = ConceptualModel("t")
+        cm.add_class("protein", methods={"name": "string"})
+        cm.add_instance("p1", "protein")
+        cm.set_value("p1", "name", "calbindin")
+        cm.add_instance("p2", "protein")
+        cm.set_value("p2", "name", "ryr")
+        assert check(cm, [key_constraint("protein", ["name"])]).ok
+
+    def test_key_constraint_needs_methods(self):
+        with pytest.raises(SchemaError):
+            key_constraint("protein", [])
+
+    def test_referential_constraint(self):
+        cm = make_cm()
+        cm.add_instance("n1", "neuron")
+        cm.add_relation_instance("has", whole="n1", part="a1")  # a1 untyped
+        report = check(cm, [referential_constraint("has", 2, 1, "axon")])
+        assert report.kinds() == ["w_ref"]
+        assert report.witnesses[0].context == ("has", 1, "a1")
+
+    def test_referential_constraint_satisfied(self):
+        cm = make_cm()
+        cm.add_instance("n1", "neuron")
+        cm.add_instance("a1", "axon")
+        cm.add_relation_instance("has", whole="n1", part="a1")
+        assert check(cm, [referential_constraint("has", 2, 1, "axon")]).ok
+
+    def test_existential_edge_constraint(self):
+        # dendrite -has-> branch as data-completeness check
+        cm = ConceptualModel("t")
+        cm.add_class("dendrite")
+        cm.add_class("branch")
+        cm.add_instance("d1", "dendrite")
+        cm.add_instance("d2", "dendrite")
+        cm.add_instance("b1", "branch")
+        cm.add_datalog("has(d1, b1).")
+        report = check(
+            cm, [existential_edge_constraint("dendrite", "has", "branch")]
+        )
+        assert len(report) == 1
+        assert report.witnesses[0].context == ("dendrite", "has", "branch", "d2")
+
+    def test_universal_edge_constraint(self):
+        cm = ConceptualModel("t")
+        cm.add_class("my_neuron")
+        cm.add_class("my_dendrite")
+        cm.add_instance("n1", "my_neuron")
+        cm.add_datalog("has(n1, d_ok). has(n1, d_bad). instance(d_ok, my_dendrite).")
+        report = check(
+            cm, [universal_edge_constraint("my_neuron", "has", "my_dendrite")]
+        )
+        assert len(report) == 1
+        assert report.witnesses[0].context[-1] == "d_bad"
+
+
+class TestCheckMachinery:
+    def test_raise_on_violation(self):
+        cm = ConceptualModel("t")
+        cm.add_class("a", superclasses=["b"])
+        cm.add_class("b", superclasses=["a"])
+        with pytest.raises(ConstraintViolation) as info:
+            check(
+                cm,
+                [partial_order_constraint("subclass", "class")],
+                raise_on_violation=True,
+            )
+        assert len(info.value.witnesses) == 2
+
+    def test_constraints_attached_to_cm_are_used(self):
+        cm = make_cm()
+        cm.add_relation_instance("has", whole="n1", part="a1")
+        cm.add_relation_instance("has", whole="n2", part="a1")
+        cm.add_constraint(
+            cardinality_constraint("has", 2, counted_position=0, exact=1)
+        )
+        assert not check(cm).ok
+
+    def test_constraint_from_text(self):
+        cm = ConceptualModel("t")
+        cm.add_class("c")
+        cm.add_instance("x", "c")
+        constraint = constraint_from_text(
+            "no_c", "instance(w_no_c(X), ic) :- instance(X, c)."
+        )
+        report = check(cm, [constraint])
+        assert report.witnesses[0].kind == "w_no_c"
+
+    def test_report_str_consistent(self):
+        cm = ConceptualModel("t")
+        cm.add_class("c")
+        assert "consistent" in str(check(cm, []))
+
+    def test_report_str_lists_witnesses(self):
+        cm = ConceptualModel("t")
+        cm.add_class("a", superclasses=["b"])
+        cm.add_class("b", superclasses=["a"])
+        text = str(check(cm, [partial_order_constraint("subclass", "class")]))
+        assert "was(" in text
+
+    def test_rules_accepted_directly(self):
+        cm = make_cm()
+        cm.add_relation_instance("has", whole="n1", part="a1")
+        report = check(
+            cm.all_rules(include_constraints=False),
+            [cardinality_constraint("has", 2, counted_position=0, exact=1)],
+        )
+        assert report.ok

@@ -1,0 +1,149 @@
+"""Unit tests for ConceptualModel schema/data compilation."""
+
+import pytest
+
+from repro.datalog.terms import Struct
+from repro.errors import SchemaError
+from repro.gcm import ConceptualModel, MethodDef, RelationDef
+
+
+@pytest.fixture
+def neuron_cm():
+    cm = ConceptualModel("neuro")
+    cm.add_class("compartment")
+    cm.add_class(
+        "neuron",
+        methods={"location": "string", "proteins": ("protein", True)},
+    )
+    cm.add_class("axon", superclasses=["compartment"])
+    cm.add_relation("has", [("whole", "neuron"), ("part", "compartment")])
+    return cm
+
+
+class TestSchemaDeclarations:
+    def test_duplicate_class_rejected(self, neuron_cm):
+        with pytest.raises(SchemaError):
+            neuron_cm.add_class("neuron")
+
+    def test_duplicate_relation_rejected(self, neuron_cm):
+        with pytest.raises(SchemaError):
+            neuron_cm.add_relation("has", [("a", "x")])
+
+    def test_duplicate_role_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationDef("r", [("a", "x"), ("a", "y")])
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationDef("r", [])
+
+    def test_duplicate_method_rejected(self):
+        cm = ConceptualModel("m")
+        with pytest.raises(SchemaError):
+            cm.add_class("c", methods={"m": "t"}).add_method(MethodDef("m", "t"))
+
+    def test_role_index(self, neuron_cm):
+        relation = neuron_cm.relations["has"]
+        assert relation.role_index("whole") == 0
+        assert relation.role_index("part") == 1
+        with pytest.raises(SchemaError):
+            relation.role_index("nope")
+
+    def test_class_and_relation_names(self, neuron_cm):
+        assert neuron_cm.class_names() == ["axon", "compartment", "neuron"]
+        assert neuron_cm.relation_names() == ["has"]
+
+    def test_describe_mentions_everything(self, neuron_cm):
+        text = neuron_cm.describe()
+        assert "class neuron" in text
+        assert "relation has" in text
+        assert "location => string" in text
+        assert "proteins =>> protein" in text
+
+
+class TestInstanceData:
+    def test_add_instance_requires_declared_class(self, neuron_cm):
+        with pytest.raises(SchemaError):
+            neuron_cm.add_instance("x", "undeclared")
+
+    def test_relation_instance_role_check(self, neuron_cm):
+        with pytest.raises(SchemaError):
+            neuron_cm.add_relation_instance("has", whole="n1")
+        with pytest.raises(SchemaError):
+            neuron_cm.add_relation_instance("has", whole="n1", part="a1", extra=1)
+        with pytest.raises(SchemaError):
+            neuron_cm.add_relation_instance("nope", a="b")
+
+    def test_instances_visible_in_engine(self, neuron_cm):
+        neuron_cm.add_instance("n1", "neuron")
+        neuron_cm.set_value("n1", "location", "hippocampus")
+        engine = neuron_cm.to_engine()
+        assert engine.holds("n1 : neuron")
+        assert engine.ask("n1[location -> L]") == [{"L": "hippocampus"}]
+
+    def test_subclass_membership_through_engine(self, neuron_cm):
+        neuron_cm.add_instance("a1", "axon")
+        engine = neuron_cm.to_engine()
+        assert engine.holds("a1 : compartment")
+
+    def test_method_signature_visible(self, neuron_cm):
+        engine = neuron_cm.to_engine()
+        rows = engine.ask("neuron[location => T]")
+        assert rows == [{"T": "string"}]
+
+
+class TestRelationBridge:
+    def test_flat_predicate_from_add(self, neuron_cm):
+        neuron_cm.add_relation_instance("has", whole="n1", part="a1")
+        engine = neuron_cm.to_engine()
+        assert engine.holds("has(n1, a1)")
+
+    def test_tuple_object_created(self, neuron_cm):
+        neuron_cm.add_relation_instance("has", whole="n1", part="a1")
+        engine = neuron_cm.to_engine()
+        rows = engine.ask("T : has[whole -> n1; part -> a1]")
+        assert len(rows) == 1
+        assert isinstance(rows[0]["T"], Struct)
+        assert rows[0]["T"].functor == "t_has"
+
+    def test_roles_as_method_signatures(self, neuron_cm):
+        # Table 1: relation(R, A1=C1, ...) becomes R[A1 => C1; ...].
+        engine = neuron_cm.to_engine()
+        rows = engine.ask("has[whole => T]")
+        assert rows == [{"T": "neuron"}]
+
+    def test_tuple_object_to_flat_predicate(self, neuron_cm):
+        # Asserting an object of class `has` with both roles makes the
+        # flat predicate fact derivable (Table 1 equivalence).
+        neuron_cm.add_instance("n9", "neuron")
+        neuron_cm.add_datalog(
+            """
+            instance(h1, has).
+            method_inst(h1, whole, n9).
+            method_inst(h1, part, a9).
+            """
+        )
+        engine = neuron_cm.to_engine()
+        assert engine.holds("has(n9, a9)")
+
+    def test_relation_sig_facts(self, neuron_cm):
+        engine = neuron_cm.to_engine()
+        rows = engine.ask("relation_sig(has, I, R, C)")
+        assert len(rows) == 2
+
+
+class TestSemanticRules:
+    def test_fl_rule(self, neuron_cm):
+        neuron_cm.add_instance("n1", "neuron")
+        neuron_cm.set_value("n1", "location", "hippocampus")
+        neuron_cm.add_rule(
+            "X : hippocampal :- X : neuron[location -> hippocampus]."
+        )
+        engine = neuron_cm.to_engine()
+        assert engine.instances_of("hippocampal") == ["n1"]
+
+    def test_datalog_rule(self, neuron_cm):
+        neuron_cm.add_relation_instance("has", whole="n1", part="a1")
+        neuron_cm.add_datalog("part_of(P, W) :- has(W, P).")
+        engine = neuron_cm.to_engine()
+        assert engine.ask("part_of(P, W)") == [{"P": "a1", "W": "n1"}]

@@ -1,0 +1,107 @@
+"""Tests for value-range constraints and functional dependencies."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.gcm import (
+    ConceptualModel,
+    check,
+    functional_dependency,
+    value_range_constraint,
+)
+
+
+def cm_with(values):
+    cm = ConceptualModel("t")
+    cm.add_class("sample", methods={"kind": "string", "value": "float"})
+    for index, (kind, value) in enumerate(values):
+        obj = "s%d" % index
+        cm.add_instance(obj, "sample")
+        cm.set_value(obj, "kind", kind)
+        cm.set_value(obj, "value", value)
+    return cm
+
+
+class TestValueRange:
+    def test_enumeration_ok(self):
+        cm = cm_with([("spine", 1.0), ("dendrite", 2.0)])
+        constraint = value_range_constraint(
+            "sample", "kind", allowed=["spine", "dendrite", "soma"]
+        )
+        assert check(cm, [constraint]).ok
+
+    def test_enumeration_violation(self):
+        cm = cm_with([("spine", 1.0), ("mystery", 2.0)])
+        constraint = value_range_constraint(
+            "sample", "kind", allowed=["spine", "dendrite"]
+        )
+        report = check(cm, [constraint])
+        assert report.kinds() == ["w_value"]
+        assert report.witnesses[0].context[-1] == "mystery"
+
+    def test_minimum_violation(self):
+        cm = cm_with([("spine", -1.0)])
+        constraint = value_range_constraint("sample", "value", minimum=0)
+        report = check(cm, [constraint])
+        assert report.kinds() == ["w_value_low"]
+
+    def test_maximum_violation(self):
+        cm = cm_with([("spine", 99.0)])
+        constraint = value_range_constraint("sample", "value", maximum=10)
+        report = check(cm, [constraint])
+        assert report.kinds() == ["w_value_high"]
+
+    def test_interval_ok(self):
+        cm = cm_with([("spine", 5.0)])
+        constraint = value_range_constraint(
+            "sample", "value", minimum=0, maximum=10
+        )
+        assert check(cm, [constraint]).ok
+
+    def test_both_bounds_can_fire(self):
+        cm = cm_with([("spine", -1.0), ("spine", 99.0)])
+        constraint = value_range_constraint(
+            "sample", "value", minimum=0, maximum=10
+        )
+        report = check(cm, [constraint])
+        assert set(report.by_kind()) == {"w_value_low", "w_value_high"}
+
+    def test_requires_some_bound(self):
+        with pytest.raises(SchemaError):
+            value_range_constraint("sample", "value")
+
+
+class TestFunctionalDependency:
+    def test_fd_holds(self):
+        cm = cm_with([("spine", 1.0), ("spine", 1.0), ("dendrite", 2.0)])
+        constraint = functional_dependency("sample", ["kind"], "value")
+        assert check(cm, [constraint]).ok
+
+    def test_fd_violated(self):
+        cm = cm_with([("spine", 1.0), ("spine", 2.0)])
+        constraint = functional_dependency("sample", ["kind"], "value")
+        report = check(cm, [constraint])
+        assert report.kinds() == ["w_fd"]
+        # both orderings of the violating pair are reported
+        assert len(report) == 2
+
+    def test_composite_determinant(self):
+        cm = ConceptualModel("t")
+        cm.add_class(
+            "m", methods={"a": "string", "b": "string", "c": "string"}
+        )
+        rows = [("x", "1", "p"), ("x", "2", "q"), ("x", "1", "p")]
+        for index, (a, b, c) in enumerate(rows):
+            obj = "o%d" % index
+            cm.add_instance(obj, "m")
+            cm.set_value(obj, "a", a)
+            cm.set_value(obj, "b", b)
+            cm.set_value(obj, "c", c)
+        constraint = functional_dependency("m", ["a", "b"], "c")
+        assert check(cm, [constraint]).ok
+        cm.set_value("o2", "c", "r")  # o0 and o2 now disagree
+        assert not check(cm, [constraint]).ok
+
+    def test_requires_determinants(self):
+        with pytest.raises(SchemaError):
+            functional_dependency("m", [], "c")

@@ -1,0 +1,70 @@
+"""Tests for mediated analyses (FL aggregates over views and anchors)."""
+
+import pytest
+
+from repro.neuro import build_scenario
+from repro.neuro.analysis import (
+    correlate_worlds,
+    protein_amount_by_compartment,
+    spine_length_by_condition,
+    spine_length_by_species_age,
+)
+
+
+@pytest.fixture(scope="module")
+def mediator():
+    return build_scenario(seed=2001, scale=2).mediator
+
+
+class TestSpineAnalyses:
+    def test_condition_ordering(self, mediator):
+        means = spine_length_by_condition(mediator)
+        assert set(means) == {"control", "enriched", "deprived"}
+        # the generator encodes: enrichment grows spines
+        assert means["enriched"] > means["control"] > means["deprived"]
+
+    def test_species_age_sweep_complete(self, mediator):
+        means = spine_length_by_species_age(mediator)
+        assert set(means) == {
+            (species, age)
+            for species in ("rat", "mouse")
+            for age in (14, 30, 90)
+        }
+        assert all(value > 0 for value in means.values())
+
+
+class TestProteinAnalyses:
+    def test_calcium_by_compartment(self, mediator):
+        totals = protein_amount_by_compartment(mediator, "calcium")
+        # only Purkinje-side anchors carry calcium measurements
+        assert set(totals) <= {
+            "Purkinje_Cell",
+            "Purkinje_Dendrite",
+            "Purkinje_Soma",
+            "Purkinje_Spine",
+        }
+        assert totals["Purkinje_Dendrite"] > totals["Purkinje_Cell"]
+
+    def test_other_ion_differs(self, mediator):
+        chloride = protein_amount_by_compartment(mediator, "chloride")
+        calcium = protein_amount_by_compartment(mediator, "calcium")
+        assert chloride != calcium
+        assert set(chloride) <= {"Purkinje_Dendrite", "Purkinje_Soma"}
+
+
+class TestWorldCorrelation:
+    def test_worlds_join_through_anchors(self, mediator):
+        table = correlate_worlds(mediator)
+        # SYNAPSE contributes morphometry at pyramidal concepts
+        assert table["Pyramidal_Spine"]["reconstructions"] > 0
+        # NCMIR contributes protein counts at Purkinje concepts
+        assert table["Purkinje_Dendrite"]["calcium_binding_proteins"] == 4
+
+    def test_no_fabricated_overlap(self, mediator):
+        table = correlate_worlds(mediator)
+        # the two worlds stay distinct at the instance level: no concept
+        # carries both kinds of data in this scenario
+        assert not any(
+            "reconstructions" in info and "calcium_binding_proteins" in info
+            for info in table.values()
+        )

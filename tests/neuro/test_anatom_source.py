@@ -1,0 +1,84 @@
+"""Tests for the ANATOM atlas source and in-scenario DM refinement."""
+
+import pytest
+
+from repro.neuro import build_scenario
+from repro.neuro.anatom_source import DM_REFINEMENT, build_anatom_source
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(include_anatom_source=True)
+
+
+@pytest.fixture(scope="module")
+def mediator(scenario):
+    return scenario.mediator
+
+
+class TestAnatomSource:
+    def test_four_sources(self, mediator):
+        assert mediator.source_names() == [
+            "ANATOM",
+            "NCMIR",
+            "SENSELAB",
+            "SYNAPSE",
+        ]
+
+    def test_refinement_extended_dm(self, mediator):
+        for concept in ("Basket_Cell", "Stellate_Cell", "Golgi_Cell"):
+            assert concept in mediator.dm.concepts
+        assert (
+            "Cerebellar_Cortex",
+            "has",
+            "Basket_Cell",
+        ) in mediator.dm.role_triples()
+
+    def test_new_concepts_in_isa_hierarchy(self, mediator):
+        from repro.domainmap import isa_closure
+
+        closure = isa_closure(mediator.dm)
+        assert ("Basket_Cell", "Neuron") in closure
+        assert ("Basket_Axon", "Compartment") in closure
+
+    def test_census_anchored(self, mediator):
+        rows = mediator.ask("X : cell_census[cell_type -> T; per_mm3 -> N]")
+        assert len(rows) == 7
+        # anchored at regions, so region-level queries see them
+        assert mediator.ask("X : 'Cerebellar_Cortex'[per_mm3 -> N]")
+
+    def test_source_rule_active(self, mediator):
+        rows = mediator.ask("X : abundant_cell_type")
+        assert len(rows) == 4  # granule, stellate, CA1 pyramidal, MSN
+
+    def test_region_traversal_reaches_new_cells(self, mediator):
+        from repro.domainmap import downward_closure
+
+        region = downward_closure(mediator.dm, "Cerebellar_Cortex", "has")
+        assert {"Basket_Cell", "Stellate_Cell", "Golgi_Cell"} <= region
+
+    def test_section5_query_unaffected(self, mediator):
+        from repro.neuro import section5_query
+
+        plan, context = mediator.correlate(section5_query())
+        # ANATOM anchors at Cerebellar_Cortex etc., not at the query's
+        # Purkinje concepts with protein_amount, so selection is stable
+        assert context.selected_sources == ["NCMIR"]
+
+    def test_default_scenario_excludes_anatom(self):
+        assert build_scenario().mediator.source_names() == [
+            "NCMIR",
+            "SENSELAB",
+            "SYNAPSE",
+        ]
+
+    def test_census_deterministic(self):
+        first = build_anatom_source().export_all_facts()
+        second = build_anatom_source().export_all_facts()
+        assert [str(f) for f in first] == [str(f) for f in second]
+
+    def test_refinement_is_parseable(self):
+        from repro.domainmap import parse_axioms
+
+        axioms = parse_axioms(DM_REFINEMENT)
+        assert len(axioms) == 8

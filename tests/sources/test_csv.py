@@ -1,0 +1,97 @@
+"""Tests for CSV ingestion into the relational store."""
+
+import io
+
+import pytest
+
+from repro.errors import RelStoreError
+from repro.sources import RelStore, table_from_csv
+
+CSV = """id,protein,location,amount,validated
+1,Ryanodine Receptor,Purkinje Cell dendrite,3.2,true
+2,Calbindin,Purkinje Cell,1.1,false
+3,IP3 Receptor,,2.5,yes
+"""
+
+DTYPES = {"id": "int", "amount": "float", "validated": "bool"}
+
+
+class TestCSVLoading:
+    def test_basic_load(self):
+        table = table_from_csv("m", io.StringIO(CSV), dtypes=DTYPES, key="id")
+        assert len(table) == 3
+        assert table.column_names == [
+            "id",
+            "protein",
+            "location",
+            "amount",
+            "validated",
+        ]
+
+    def test_types_converted(self):
+        table = table_from_csv("m", io.StringIO(CSV), dtypes=DTYPES)
+        row = table.select(where={"id": 1})[0]
+        assert row["id"] == 1 and isinstance(row["id"], int)
+        assert row["amount"] == 3.2
+        assert row["validated"] is True
+        assert table.select(where={"id": 2})[0]["validated"] is False
+        assert table.select(where={"id": 3})[0]["validated"] is True
+
+    def test_empty_cell_becomes_null(self):
+        table = table_from_csv("m", io.StringIO(CSV), dtypes=DTYPES)
+        assert table.select(where={"id": 3})[0]["location"] is None
+
+    def test_key_enforced(self):
+        duplicated = CSV + "1,Extra,loc,0.1,true\n"
+        with pytest.raises(RelStoreError):
+            table_from_csv("m", io.StringIO(duplicated), dtypes=DTYPES, key="id")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(RelStoreError):
+            table_from_csv("m", io.StringIO("a,b\n1\n"))
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(RelStoreError):
+            table_from_csv("m", io.StringIO(""))
+
+    def test_unknown_dtype_column_rejected(self):
+        with pytest.raises(RelStoreError):
+            table_from_csv("m", io.StringIO(CSV), dtypes={"nope": "int"})
+
+    def test_bad_bool_rejected(self):
+        bad = "a\nmaybe\n"
+        with pytest.raises(RelStoreError):
+            table_from_csv("m", io.StringIO(bad), dtypes={"a": "bool"})
+
+    def test_store_load_csv(self):
+        store = RelStore("S")
+        store.load_csv("m", io.StringIO(CSV), dtypes=DTYPES, key="id")
+        assert store.table("m").get(2)["protein"] == "Calbindin"
+        with pytest.raises(RelStoreError):
+            store.load_csv("m", io.StringIO(CSV))
+
+    def test_from_file_path(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text(CSV)
+        table = table_from_csv("m", str(path), dtypes=DTYPES)
+        assert len(table) == 3
+
+    def test_wrapper_over_csv_source(self, tmp_path):
+        from repro.sources import AnchorSpec, SourceQuery, Wrapper
+
+        path = tmp_path / "data.csv"
+        path.write_text(CSV)
+        store = RelStore("CSVLAB")
+        store.load_csv("m", str(path), dtypes=DTYPES, key="id")
+        wrapper = Wrapper("CSVLAB", store)
+        wrapper.export_class(
+            "measurement",
+            "m",
+            "id",
+            methods={"protein_name": "protein", "amount": "amount"},
+            selectable={"protein_name"},
+        )
+        rows = wrapper.query(
+            SourceQuery("measurement", {"protein_name": "Calbindin"})
+        )
+        assert rows[0]["amount"] == 1.1

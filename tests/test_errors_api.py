@@ -1,0 +1,99 @@
+"""Tests for the error hierarchy and top-level package surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        leaf_errors = [
+            errors.ParseError,
+            errors.SafetyError,
+            errors.StratificationError,
+            errors.EvaluationError,
+            errors.FLogicParseError,
+            errors.FLogicTranslationError,
+            errors.SchemaError,
+            errors.ConstraintViolation,
+            errors.UnknownConceptError,
+            errors.UnknownRoleError,
+            errors.UndecidableFragmentError,
+            errors.NoUpperBoundError,
+            errors.PluginError,
+            errors.CapabilityError,
+            errors.RelStoreError,
+            errors.RegistrationError,
+            errors.PlanningError,
+            errors.ViewError,
+            errors.MediatorError,
+            errors.XMLTransportError,
+        ]
+        for error_class in leaf_errors:
+            assert issubclass(error_class, errors.ReproError)
+
+    def test_flogic_parse_error_is_both(self):
+        assert issubclass(errors.FLogicParseError, errors.FLogicError)
+        assert issubclass(errors.FLogicParseError, errors.ParseError)
+
+    def test_parse_error_position_reporting(self):
+        exc = errors.ParseError("boom", text="ab\ncd", position=4)
+        assert exc.line == 2
+        assert exc.column == 2
+        assert "line 2" in str(exc)
+
+    def test_parse_error_without_position(self):
+        exc = errors.ParseError("boom")
+        assert exc.line is None
+
+    def test_constraint_violation_carries_witnesses(self):
+        exc = errors.ConstraintViolation("bad", witnesses=["w1", "w2"])
+        assert exc.witnesses == ("w1", "w2")
+
+    def test_catching_the_base_class_works_across_layers(self):
+        from repro.datalog import parse_program
+        from repro.domainmap import DomainMap, lub
+
+        with pytest.raises(errors.ReproError):
+            parse_program("p(")
+        with pytest.raises(errors.ReproError):
+            lub(DomainMap("t"), ["missing"])
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_importable(self):
+        import repro.core
+        import repro.datalog
+        import repro.domainmap
+        import repro.flogic
+        import repro.gcm
+        import repro.neuro
+        import repro.sources
+        import repro.xmlio
+
+    def test_all_exports_resolve(self):
+        import repro.core
+        import repro.datalog
+        import repro.domainmap
+        import repro.flogic
+        import repro.gcm
+        import repro.neuro
+        import repro.sources
+        import repro.xmlio
+
+        for module in (
+            repro.core,
+            repro.datalog,
+            repro.domainmap,
+            repro.flogic,
+            repro.gcm,
+            repro.neuro,
+            repro.sources,
+            repro.xmlio,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)

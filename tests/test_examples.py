@@ -1,0 +1,21 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), "example %s produced no output" % path.name
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3

@@ -1,0 +1,119 @@
+"""Tests for the XML query/answer dialogue."""
+
+import pytest
+
+from repro.errors import CapabilityError, XMLTransportError
+from repro.neuro import build_ncmir
+from repro.sources import SourceQuery
+from repro.xmlio import (
+    handle_request,
+    query_from_xml,
+    query_to_xml,
+    rows_from_xml,
+    rows_to_xml,
+    template_query_from_xml,
+    template_query_to_xml,
+)
+
+
+@pytest.fixture(scope="module")
+def ncmir():
+    return build_ncmir()
+
+
+class TestQueryCodec:
+    def test_roundtrip_selections(self):
+        query = SourceQuery(
+            "protein_amount",
+            {"location": "Purkinje Cell dendrite", "id": 3},
+        )
+        decoded = query_from_xml(query_to_xml(query))
+        assert decoded.class_name == "protein_amount"
+        assert decoded.selections == query.selections
+        # types preserved
+        assert isinstance(decoded.selections["id"], int)
+
+    def test_roundtrip_projection(self):
+        query = SourceQuery("c", {}, projection=["a", "b"])
+        decoded = query_from_xml(query_to_xml(query))
+        assert decoded.projection == ["a", "b"]
+
+    def test_empty_projection_is_none(self):
+        decoded = query_from_xml(query_to_xml(SourceQuery("c", {"a": 1})))
+        assert decoded.projection is None
+
+    def test_bad_root_rejected(self):
+        with pytest.raises(XMLTransportError):
+            query_from_xml("<nope/>")
+        with pytest.raises(XMLTransportError):
+            query_from_xml("<source-query/>")
+
+    def test_template_roundtrip(self):
+        text = template_query_to_xml("c", "t", {"min_amount": 2.5, "tag": "x"})
+        class_name, template, arguments = template_query_from_xml(text)
+        assert (class_name, template) == ("c", "t")
+        assert arguments == {"min_amount": 2.5, "tag": "x"}
+
+
+class TestAnswerCodec:
+    def test_roundtrip(self):
+        rows = [
+            {"_object": "S.c.1", "_raw": {"x": 1}, "name": "RyR", "amount": 3.5},
+            {"_object": "S.c.2", "_raw": {}, "name": "CB", "amount": 1},
+        ]
+        class_name, decoded = rows_from_xml(rows_to_xml("c", rows))
+        assert class_name == "c"
+        assert decoded[0]["_object"] == "S.c.1"
+        assert decoded[0]["amount"] == 3.5
+        assert decoded[1]["amount"] == 1
+        assert "_raw" not in decoded[0]
+
+    def test_none_values_dropped(self):
+        rows = [{"_object": "o", "a": None, "b": 1}]
+        _cls, decoded = rows_from_xml(rows_to_xml("c", rows))
+        assert "a" not in decoded[0]
+
+    def test_count_mismatch_detected(self):
+        text = rows_to_xml("c", [{"_object": "o", "a": 1}])
+        tampered = text.replace('count="1"', 'count="2"')
+        with pytest.raises(XMLTransportError):
+            rows_from_xml(tampered)
+
+
+class TestWrapperEndpoint:
+    def test_query_over_the_wire(self, ncmir):
+        request = query_to_xml(
+            SourceQuery("protein_amount", {"location": "Purkinje Cell"})
+        )
+        class_name, rows = rows_from_xml(handle_request(ncmir, request))
+        assert class_name == "protein_amount"
+        assert rows
+        assert all(row["location"] == "Purkinje Cell" for row in rows)
+
+    def test_answers_match_direct_call(self, ncmir):
+        query = SourceQuery("protein_amount", {"protein_name": "Calbindin"})
+        direct = ncmir.query(query)
+        _cls, wired = rows_from_xml(handle_request(ncmir, query_to_xml(query)))
+        assert [row["_object"] for row in wired] == [
+            row["_object"] for row in direct
+        ]
+        assert [row["amount"] for row in wired] == [
+            row["amount"] for row in direct
+        ]
+
+    def test_template_over_the_wire(self, ncmir):
+        request = template_query_to_xml(
+            "protein_amount", "by_min_amount", {"min_amount": 5.0}
+        )
+        _cls, rows = rows_from_xml(handle_request(ncmir, request))
+        assert rows
+        assert all(row["amount"] >= 5.0 for row in rows)
+
+    def test_capability_violation_surfaces(self, ncmir):
+        request = query_to_xml(SourceQuery("protein_amount", {"amount": 1.0}))
+        with pytest.raises(CapabilityError):
+            handle_request(ncmir, request)
+
+    def test_unknown_request_rejected(self, ncmir):
+        with pytest.raises(XMLTransportError):
+            handle_request(ncmir, "<mystery/>")

@@ -1,0 +1,159 @@
+"""Tests for the CM plug-in mechanism and the built-in translators."""
+
+import pytest
+
+from repro.errors import PluginError
+from repro.xmlio import BUILTIN_PLUGINS, PluginTranslator, er, rdf, uml_xmi
+
+
+class TestPluginEngine:
+    def test_translator_requires_rules(self):
+        with pytest.raises(PluginError):
+            PluginTranslator.from_xml('<translator name="t"/>')
+
+    def test_translator_requires_match(self):
+        with pytest.raises(PluginError):
+            PluginTranslator.from_xml(
+                '<translator name="t"><rule><emit-class name="@n"/></rule></translator>'
+            )
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(PluginError):
+            PluginTranslator.from_xml("<nope/>")
+
+    def test_unknown_emission_rejected(self):
+        translator = PluginTranslator.from_xml(
+            '<translator name="t"><rule match=".//c"><emit-zap name="@n"/></rule></translator>'
+        )
+        with pytest.raises(PluginError):
+            translator.apply("<doc><c n='x'/></doc>")
+
+    def test_missing_field_reported(self):
+        translator = PluginTranslator.from_xml(
+            '<translator name="t"><rule match=".//c"><emit-class name="@missing"/></rule></translator>'
+        )
+        with pytest.raises(PluginError):
+            translator.apply("<doc><c/></doc>")
+
+    def test_literal_accessor(self):
+        translator = PluginTranslator.from_xml(
+            """<translator name="t">
+                 <rule match=".//c"><emit-class name="'fixed'"/></rule>
+               </translator>"""
+        )
+        result = translator.apply("<doc><c/></doc>")
+        assert result.cm.class_names() == ["fixed"]
+
+    def test_text_accessor(self):
+        translator = PluginTranslator.from_xml(
+            """<translator name="t">
+                 <rule match=".//c"><emit-class name="text"/></rule>
+               </translator>"""
+        )
+        result = translator.apply("<doc><c>neuron</c></doc>")
+        assert result.cm.class_names() == ["neuron"]
+
+    def test_tag_accessor(self):
+        translator = PluginTranslator.from_xml(
+            """<translator name="t">
+                 <rule match=".//thing"><emit-class name="tag"/></rule>
+               </translator>"""
+        )
+        result = translator.apply("<doc><thing/></doc>")
+        assert result.cm.class_names() == ["thing"]
+
+    def test_child_accessor(self):
+        translator = PluginTranslator.from_xml(
+            """<translator name="t">
+                 <rule match=".//c">
+                   <emit-class name="child:label"/>
+                 </rule>
+               </translator>"""
+        )
+        result = translator.apply("<doc><c><label>axon</label></c></doc>")
+        assert result.cm.class_names() == ["axon"]
+
+    def test_vtype_conversion(self):
+        translator = PluginTranslator.from_xml(
+            """<translator name="t">
+                 <rule match=".//o">
+                   <emit-instance object="@id" class="'c'"/>
+                   <emit-value object="@id" method="'m'" value="@v" vtype="int"/>
+                 </rule>
+               </translator>"""
+        )
+        result = translator.apply('<doc><o id="x" v="7"/></doc>')
+        engine = result.cm.to_engine()
+        assert engine.ask("x[m -> V]") == [{"V": 7}]
+
+    def test_classes_auto_declared_from_usage(self):
+        translator = PluginTranslator.from_xml(
+            """<translator name="t">
+                 <rule match=".//o"><emit-instance object="@id" class="@cls"/></rule>
+               </translator>"""
+        )
+        result = translator.apply('<doc><o id="x" cls="mystery"/></doc>')
+        assert "mystery" in result.cm.class_names()
+
+    def test_cm_name_precedence(self):
+        translator = PluginTranslator.from_xml(
+            """<translator name="t">
+                 <rule match=".//c"><emit-class name="@n"/></rule>
+               </translator>"""
+        )
+        result = translator.apply('<doc name="docname"><c n="x"/></doc>')
+        assert result.cm.name == "docname"
+        result2 = translator.apply(
+            '<doc name="docname"><c n="x"/></doc>', cm_name="override"
+        )
+        assert result2.cm.name == "override"
+
+
+class TestBuiltinPlugins:
+    def test_registry(self):
+        assert set(BUILTIN_PLUGINS) == {"rdf", "uml", "er"}
+
+    def test_rdf_sample(self):
+        result = rdf.translate(rdf.SAMPLE_DOCUMENT)
+        engine = result.cm.to_engine()
+        assert engine.holds("p1 : neuron")  # via subclass
+        assert engine.ask("p1[location -> L]") == [{"L": "cerebellum"}]
+        assert engine.ask("p1[soma_diameter -> D]") == [{"D": 24.5}]
+        assert ("purkinje_cell", "Purkinje_Cell", "location") in result.anchors
+
+    def test_rdf_schema_shape(self):
+        result = rdf.translate(rdf.SAMPLE_DOCUMENT)
+        assert result.cm.classes["purkinje_cell"].superclasses == ("neuron",)
+        assert result.cm.classes["neuron"].methods["location"].result_class == "string"
+
+    def test_uml_sample(self):
+        result = uml_xmi.translate(uml_xmi.SAMPLE_DOCUMENT)
+        engine = result.cm.to_engine()
+        assert engine.holds("p1 : 'Neuron'")
+        assert engine.holds("has(p1, d1)")
+        assert engine.ask("p1[location -> L]") == [{"L": "cerebellum"}]
+
+    def test_uml_association_becomes_relation(self):
+        result = uml_xmi.translate(uml_xmi.SAMPLE_DOCUMENT)
+        assert result.cm.relations["has"].roles == (
+            ("whole", "Neuron"),
+            ("part", "Compartment"),
+        )
+
+    def test_er_sample(self):
+        result = er.translate(er.SAMPLE_DOCUMENT)
+        engine = result.cm.to_engine()
+        assert engine.holds("e1 : experiment")
+        assert engine.holds("e1 : record")  # via IsA
+        assert engine.ask("measures(E, N)") == [{"E": "e1", "N": "n1"}]
+        assert engine.ask("n1[label -> L]") == [{"L": "purkinje-17"}]
+
+    def test_er_anchor(self):
+        result = er.translate(er.SAMPLE_DOCUMENT)
+        assert ("neuron", "Neuron", "label") in result.anchors
+
+    def test_all_plugins_produce_loadable_engines(self):
+        for module in BUILTIN_PLUGINS.values():
+            result = module.translate(module.SAMPLE_DOCUMENT)
+            engine = result.cm.to_engine()
+            assert engine.classes()  # evaluates without error
