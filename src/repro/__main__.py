@@ -1,14 +1,25 @@
-"""`python -m repro` — a compact live demo of the mediated system.
+"""``python -m repro`` — the command-line front end.
 
-Builds the KIND scenario (including the ANATOM atlas source with its
-domain-map refinement), runs the paper's Section 5 query, and prints a
-provenance trace for one mediated fact.
+Two subcommands:
+
+* ``demo`` (the default) — a compact live demo of the mediated system:
+  builds the KIND scenario (including the ANATOM atlas source with its
+  domain-map refinement), runs the paper's Section 5 query, and prints
+  a provenance trace for one mediated fact;
+* ``lint`` — medlint, the whole-deployment static analyzer: lints the
+  deployments built by the given Python scripts (or the shipped KIND
+  scenario when no target is given) and exits non-zero if any
+  error-severity diagnostic is reported.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
 
-def main():
+
+def demo(args=None):
     from repro.neuro import build_scenario, section5_query
 
     print("repro: Model-Based Mediation with Domain Maps (ICDE 2001)")
@@ -45,7 +56,79 @@ def main():
     )[0]
     print("\nwhy is %s a Compartment?" % obj)
     print(mediator.explain("'%s' : 'Compartment'" % obj).format(indent=1))
+    return 0
+
+
+def lint(args):
+    from repro.analysis import analyze, lint_path
+
+    reports = []
+    if args.targets:
+        for target in args.targets:
+            reports.append(lint_path(target))
+    else:
+        from repro.neuro import build_scenario
+
+        scenario = build_scenario(include_anatom_source=True)
+        reports.append(analyze(scenario.mediator))
+
+    include_info = not args.no_info
+    if args.json:
+        payload = [report.as_dict(include_info=include_info) for report in reports]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.format_text(include_info=include_info, explain=args.explain))
+    return 1 if any(report.has_errors for report in reports) else 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Model-Based Mediation with Domain Maps (ICDE 2001)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    demo_parser = sub.add_parser("demo", help="run the KIND scenario demo")
+    demo_parser.set_defaults(func=demo)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="statically analyze deployments (medlint)",
+        description="Lint deployment scripts without evaluating them. "
+        "Each target is a Python file; every Mediator it constructs is "
+        "analyzed. With no target, the shipped KIND scenario is linted.",
+    )
+    lint_parser.add_argument(
+        "targets", nargs="*", help="deployment scripts (.py) to lint"
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    lint_parser.add_argument(
+        "--no-info", action="store_true", help="hide info-severity diagnostics"
+    )
+    lint_parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="follow each diagnostic with its catalog title",
+    )
+    lint_parser.set_defaults(func=lint)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if getattr(args, "func", None) is None:
+            # bare `python -m repro` keeps running the demo
+            return demo()
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into a consumer that stopped reading (e.g. head)
+        return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -19,7 +19,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..errors import MediatorError, RegistrationError
+from ..errors import (
+    SEVERITY_ERROR,
+    MediatorError,
+    RegistrationError,
+    ViewError,
+)
+from ..datalog.safety import check_rule_safety
 from ..datalog.ast import Rule
 from ..domainmap.execute import compile_domain_map
 from ..domainmap.index import SemanticIndex
@@ -57,12 +63,18 @@ class Mediator:
         name="mediator",
         edge_assertions=None,
         dialogue_via_xml=False,
+        strict=False,
     ):
         self.name = name
         self.dm = dm if dm is not None else DomainMap("%s_dm" % name)
         self.index = SemanticIndex(self.dm)
         self.edge_assertions = edge_assertions
         self.dialogue_via_xml = dialogue_via_xml
+        #: with ``strict=True`` every registration and view definition
+        #: is linted first and rejected (state untouched) if the
+        #: analyzer reports error-severity diagnostics
+        self.strict = strict
+        self._safety_checked = False
         self._sources: Dict[str, RegisteredSource] = {}
         self._views: Dict[str, object] = {}
         self._view_rules: List[Rule] = []
@@ -105,6 +117,8 @@ class Mediator:
                 wrapper.export_all_facts() if eager else [],
             )
 
+        if self.strict:
+            self._require_clean_registration(registration)
         if registration.refinement:
             register_concepts(self.dm, registration.refinement, allow_new_roles=True)
         for class_name, concept, context in registration.anchors:
@@ -180,6 +194,8 @@ class Mediator:
         """Register an integrated view definition."""
         if view.name in self._views:
             raise MediatorError("view %r already defined" % view.name)
+        if self.strict:
+            self._require_clean_view(view)
         self._views[view.name] = view
         if isinstance(view, IntegratedView):
             from ..flogic.parser import parse_fl_program
@@ -205,6 +221,47 @@ class Mediator:
 
     def _invalidate(self):
         self._engine = None
+        self._safety_checked = False
+
+    # -- static analysis ---------------------------------------------------
+
+    def lint(self):
+        """Run the medlint static analyzer over this deployment;
+        returns a :class:`~repro.analysis.report.Report` (nothing is
+        evaluated)."""
+        from ..analysis import analyze_mediator
+
+        return analyze_mediator(self)
+
+    def _require_clean_registration(self, registration):
+        from ..analysis.deploy import registration_diagnostics
+
+        diagnostics = registration_diagnostics(self, registration)
+        self._require_clean(
+            diagnostics,
+            RegistrationError,
+            "strict mediator %r rejected registration of source %r"
+            % (self.name, registration.source),
+        )
+
+    def _require_clean_view(self, view):
+        from ..analysis.deploy import view_diagnostics
+
+        diagnostics = view_diagnostics(self, view)
+        self._require_clean(
+            diagnostics,
+            ViewError,
+            "strict mediator %r rejected view %r" % (self.name, view.name),
+        )
+
+    @staticmethod
+    def _require_clean(diagnostics, error_class, prefix):
+        errors = [d for d in diagnostics if d.severity == SEVERITY_ERROR]
+        if errors:
+            raise error_class(
+                "%s: %s" % (prefix, "; ".join(str(d) for d in errors)),
+                diagnostics=diagnostics,
+            )
 
     def assembled_rules(self, include_data=True):
         """Every rule the mediator's engine runs on.
@@ -248,10 +305,20 @@ class Mediator:
         knowledge only (domain map + schemas + views), ignoring any
         eagerly loaded instance data.
         """
+        extra = list(extra_facts)
         engine = FLogicEngine()
         engine.tell_rules(self.assembled_rules(include_data=include_data))
-        engine.tell_rules(list(extra_facts))
-        return engine.evaluate()
+        engine.tell_rules(extra)
+        if not self._safety_checked:
+            # first evaluation since the knowledge base changed: run the
+            # full program check once, then remember it so repeated plan
+            # executions only re-check their (few) fetched facts
+            result = engine.evaluate(check_safety=True)
+            self._safety_checked = True
+            return result
+        for rule in extra:
+            check_rule_safety(rule)
+        return engine.evaluate(check_safety=False)
 
     def ask(self, fl_query):
         """Answer an F-logic query over the mediated knowledge base."""

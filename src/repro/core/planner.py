@@ -197,16 +197,9 @@ class RetrieveAnchoredStep(PlanStep):
         collected = []
         wrapper = mediator.wrapper(source)
         capability = wrapper.capabilities()[self.target_class]
-        pushable = {
-            attr: value
-            for attr, value in self.filters.items()
-            if capability.answerable({self.anchor_attr: None, attr: None})
-        }
-        local_filters = {
-            attr: value
-            for attr, value in self.filters.items()
-            if attr not in pushable
-        }
+        pushable, local_filters = capability.partition_selections(
+            self.filters, always_bound=(self.anchor_attr,)
+        )
         for concept in self.concepts:
             for raw_value in wrapper.selection_values_for_concept(
                 self.target_class, self.anchor_attr, concept

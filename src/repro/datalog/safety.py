@@ -15,16 +15,26 @@ is needed:
 The check runs before evaluation; unsafe rules raise
 :class:`~repro.errors.SafetyError` with a message naming the offending
 variables, which keeps mistakes in hand-written mediator rules easy to
-diagnose.
+diagnose.  :func:`safety_violations` is the non-raising form used by
+the static analyzer (:mod:`repro.analysis`): it collects *every*
+violation of a rule as unraised :class:`SafetyError` objects, each
+carrying the ``MBM001``–``MBM004`` code of the violated condition, so
+one lint pass reports all problems instead of the first.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Set
+from typing import Iterable, List, Set
 
 from ..errors import SafetyError
 from .ast import AggregateLiteral, Assignment, Comparison, Literal, Rule
 from .terms import Const, Struct, Term, Var
+
+#: diagnostic codes of the individual safety conditions
+CODE_HEAD_UNRESTRICTED = "MBM001"
+CODE_NEGATION_UNBOUND = "MBM002"
+CODE_BUILTIN_UNBOUND = "MBM003"
+CODE_AGGREGATE_UNSAFE = "MBM004"
 
 
 def _term_vars(term):
@@ -72,16 +82,23 @@ def _limited_variables(body):
     return limited
 
 
-def check_rule_safety(rule):
-    """Validate one rule; raises :class:`SafetyError` on violation."""
+def safety_violations(rule):
+    """Every safety violation of `rule`, as unraised errors.
+
+    Yields :class:`SafetyError` objects in source order (head first,
+    then body items left to right), each with the specific diagnostic
+    code of the violated condition.  An empty result means the rule is
+    safe.
+    """
     limited = _limited_variables(rule.body)
 
     head_vars = set(rule.head.variables())
     unbound_head = head_vars - limited
     if unbound_head:
-        raise SafetyError(
+        yield SafetyError(
             "unsafe rule %s: head variables %s are not range-restricted"
-            % (rule, _names(unbound_head))
+            % (rule, _names(unbound_head)),
+            code=CODE_HEAD_UNRESTRICTED,
         )
 
     for item in rule.body:
@@ -89,60 +106,74 @@ def check_rule_safety(rule):
             neg_vars = set(item.atom.variables())
             free = {v for v in neg_vars - limited if not v.is_anonymous}
             if free:
-                raise SafetyError(
+                yield SafetyError(
                     "unsafe rule %s: variables %s occur only under negation"
-                    % (rule, _names(free))
+                    % (rule, _names(free)),
+                    code=CODE_NEGATION_UNBOUND,
                 )
         elif isinstance(item, Comparison) and item.op != "=":
             cmp_vars = set(item.variables())
             free = cmp_vars - limited
             if free:
-                raise SafetyError(
+                yield SafetyError(
                     "unsafe rule %s: comparison %s uses unbound variables %s"
-                    % (rule, item, _names(free))
+                    % (rule, item, _names(free)),
+                    code=CODE_BUILTIN_UNBOUND,
                 )
         elif isinstance(item, Assignment):
             free = _term_vars(item.expr) - limited
             if free:
-                raise SafetyError(
+                yield SafetyError(
                     "unsafe rule %s: arithmetic %s uses unbound variables %s"
-                    % (rule, item, _names(free))
+                    % (rule, item, _names(free)),
+                    code=CODE_BUILTIN_UNBOUND,
                 )
         elif isinstance(item, AggregateLiteral):
-            _check_aggregate_safety(rule, item)
+            yield from _aggregate_violations(rule, item)
 
 
-def _check_aggregate_safety(rule, agg):
+def _aggregate_violations(rule, agg):
     inner_limited = _limited_variables(agg.body)
     value_vars = _term_vars(agg.value)
     free_value = value_vars - inner_limited
     if free_value:
-        raise SafetyError(
+        yield SafetyError(
             "unsafe rule %s: aggregate value variables %s not bound by "
-            "the aggregate body" % (rule, _names(free_value))
+            "the aggregate body" % (rule, _names(free_value)),
+            code=CODE_AGGREGATE_UNSAFE,
         )
     for g in agg.group_by:
         free_group = _term_vars(g) - inner_limited
         if free_group:
-            raise SafetyError(
+            yield SafetyError(
                 "unsafe rule %s: aggregate grouping variables %s not bound "
-                "by the aggregate body" % (rule, _names(free_group))
+                "by the aggregate body" % (rule, _names(free_group)),
+                code=CODE_AGGREGATE_UNSAFE,
             )
     if not isinstance(agg.result, Var):
-        raise SafetyError(
+        yield SafetyError(
             "unsafe rule %s: aggregate result %s must be a variable"
-            % (rule, agg.result)
+            % (rule, agg.result),
+            code=CODE_AGGREGATE_UNSAFE,
         )
     for item in agg.body:
         if isinstance(item, Literal) and not item.positive:
-            raise SafetyError(
+            yield SafetyError(
                 "unsafe rule %s: negation inside aggregate subgoals is not "
-                "supported" % rule
+                "supported" % rule,
+                code=CODE_AGGREGATE_UNSAFE,
             )
         if isinstance(item, AggregateLiteral):
-            raise SafetyError(
-                "unsafe rule %s: nested aggregates are not supported" % rule
+            yield SafetyError(
+                "unsafe rule %s: nested aggregates are not supported" % rule,
+                code=CODE_AGGREGATE_UNSAFE,
             )
+
+
+def check_rule_safety(rule):
+    """Validate one rule; raises :class:`SafetyError` on violation."""
+    for violation in safety_violations(rule):
+        raise violation
 
 
 def check_program_safety(program):

@@ -24,6 +24,10 @@ from .ast import AggregateLiteral, Literal, Program
 
 Signature = Tuple[str, int]
 
+#: diagnostic codes of the two recursion-through-special-edge defects
+CODE_NEGATION_RECURSION = "MBM005"
+CODE_AGGREGATE_RECURSION = "MBM006"
+
 
 class DependencyInfo:
     """Result of dependency analysis over a program."""
@@ -61,6 +65,77 @@ def build_dependency_graph(program):
     return DependencyInfo(graph, negative_edges, aggregate_edges)
 
 
+class StratificationReport:
+    """The full stratification picture of one program.
+
+    ``negative_recursive`` / ``aggregate_recursive`` list the
+    (head, dependency) signature pairs whose special edge lies inside a
+    strongly connected component; ``strata`` holds the bottom-up strata
+    when the program is stratifiable (None otherwise).
+    """
+
+    def __init__(self, info, negative_recursive, aggregate_recursive, strata):
+        self.info = info
+        self.negative_recursive = negative_recursive
+        self.aggregate_recursive = aggregate_recursive
+        self.strata = strata
+
+    @property
+    def stratifiable(self):
+        return not self.negative_recursive and not self.aggregate_recursive
+
+    @property
+    def aggregate_stratified(self):
+        return not self.aggregate_recursive
+
+
+def analyze_stratification(program):
+    """Dependency analysis without raising: a :class:`StratificationReport`.
+
+    Both :func:`stratify` and the static analyzer are built on this, so
+    the raised error and the lint diagnostic are guaranteed to agree.
+    """
+    info = build_dependency_graph(program)
+    scc_of: Dict[Signature, int] = {}
+    condensed = info.condensation()
+    for scc_id, data in condensed.nodes(data=True):
+        for sig in data["members"]:
+            scc_of[sig] = scc_id
+
+    negative_recursive = sorted(
+        edge for edge in info.negative_edges if scc_of[edge[0]] == scc_of[edge[1]]
+    )
+    aggregate_recursive = sorted(
+        edge for edge in info.aggregate_edges if scc_of[edge[0]] == scc_of[edge[1]]
+    )
+    strata = None
+    if not negative_recursive and not aggregate_recursive:
+        # Topological order of the condensation gives evaluation order
+        # from the leaves up: dependencies come last in nx.condensation's
+        # edge direction (head -> body), so reverse the topological sort.
+        order = list(reversed(list(nx.topological_sort(condensed))))
+        strata = _merge_independent_strata(
+            [set(condensed.nodes[scc_id]["members"]) for scc_id in order], info
+        )
+    return StratificationReport(
+        info, negative_recursive, aggregate_recursive, strata
+    )
+
+
+def negation_recursion_message(head_sig, dep_sig):
+    return (
+        "negation through recursion: %s/%d depends negatively on "
+        "%s/%d inside a cycle" % (head_sig[0], head_sig[1], dep_sig[0], dep_sig[1])
+    )
+
+
+def aggregate_recursion_message(head_sig, dep_sig):
+    return (
+        "aggregation through recursion: %s/%d aggregates over "
+        "%s/%d inside a cycle" % (head_sig[0], head_sig[1], dep_sig[0], dep_sig[1])
+    )
+
+
 def stratify(program):
     """Compute strata for `program`.
 
@@ -70,37 +145,20 @@ def stratify(program):
     handle recursive *negation* (via the well-founded semantics) should
     catch the error and inspect :func:`is_aggregate_stratified` first.
     """
-    info = build_dependency_graph(program)
-    scc_of: Dict[Signature, int] = {}
-    condensed = info.condensation()
-    for scc_id, data in condensed.nodes(data=True):
-        for sig in data["members"]:
-            scc_of[sig] = scc_id
-
-    for head_sig, dep_sig in info.negative_edges:
-        if scc_of[head_sig] == scc_of[dep_sig]:
-            raise StratificationError(
-                "negation through recursion: %s/%d depends negatively on "
-                "%s/%d inside a cycle"
-                % (head_sig[0], head_sig[1], dep_sig[0], dep_sig[1])
-            )
-    for head_sig, dep_sig in info.aggregate_edges:
-        if scc_of[head_sig] == scc_of[dep_sig]:
-            raise StratificationError(
-                "aggregation through recursion: %s/%d aggregates over "
-                "%s/%d inside a cycle"
-                % (head_sig[0], head_sig[1], dep_sig[0], dep_sig[1])
-            )
-
-    # Topological order of the condensation gives evaluation order from
-    # the leaves up: dependencies come last in nx.condensation's edge
-    # direction (head -> body), so reverse the topological sort.
-    order = list(reversed(list(nx.topological_sort(condensed))))
-    strata: List[Set[Signature]] = []
-    for scc_id in order:
-        members = set(condensed.nodes[scc_id]["members"])
-        strata.append(members)
-    return _merge_independent_strata(strata, info)
+    report = analyze_stratification(program)
+    if report.negative_recursive:
+        head_sig, dep_sig = report.negative_recursive[0]
+        raise StratificationError(
+            negation_recursion_message(head_sig, dep_sig),
+            code=CODE_NEGATION_RECURSION,
+        )
+    if report.aggregate_recursive:
+        head_sig, dep_sig = report.aggregate_recursive[0]
+        raise StratificationError(
+            aggregate_recursion_message(head_sig, dep_sig),
+            code=CODE_AGGREGATE_RECURSION,
+        )
+    return report.strata
 
 
 def _merge_independent_strata(strata, info):
@@ -129,21 +187,9 @@ def _merge_independent_strata(strata, info):
 
 def is_aggregate_stratified(program):
     """True when no aggregate edge is recursive (negation may still be)."""
-    info = build_dependency_graph(program)
-    condensed = info.condensation()
-    scc_of: Dict[Signature, int] = {}
-    for scc_id, data in condensed.nodes(data=True):
-        for sig in data["members"]:
-            scc_of[sig] = scc_id
-    return all(
-        scc_of[head] != scc_of[dep] for head, dep in info.aggregate_edges
-    )
+    return analyze_stratification(program).aggregate_stratified
 
 
 def is_stratifiable(program):
     """True when the program has no negation/aggregation through recursion."""
-    try:
-        stratify(program)
-    except StratificationError:
-        return False
-    return True
+    return analyze_stratification(program).stratifiable

@@ -1,16 +1,163 @@
-"""Exception hierarchy for the repro package.
+"""Exception hierarchy and structured diagnostics for the repro package.
 
 Every error raised by the library derives from :class:`ReproError`, so
 applications can catch a single base class.  Sub-hierarchies mirror the
 package layout: the Datalog engine, the F-logic layer, the GCM, domain
 maps, the XML transport, and the mediator each get their own branch.
+
+Errors and the static analyzer (:mod:`repro.analysis`, "medlint")
+share one structured-diagnostic vocabulary:
+
+* every error class carries a stable diagnostic ``code`` (``MBM0xx``)
+  and a ``severity``;
+* an optional :class:`Span` locates the problem in its deployment unit
+  (a view, a source's CM, the domain map, a rule);
+* :meth:`ReproError.to_diagnostic` converts a raised error into the
+  same :class:`Diagnostic` records the analyzer emits, so runtime
+  failures and lint findings render and serialize identically.
 """
 
 from __future__ import annotations
 
+#: diagnostic severities, ordered from worst to most benign
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_INFO = "info"
+
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING, SEVERITY_INFO)
+
+
+class Span:
+    """Where a diagnostic points inside a mediator deployment.
+
+    ``unit`` names the deployment artifact ("view calcium_binding",
+    "source NCMIR", "domain map ANATOM", ...); ``detail`` is the
+    offending fragment (usually a rule or axiom rendered as text);
+    ``line``/``column`` are 1-based text positions when the artifact
+    came from parsed text.
+    """
+
+    __slots__ = ("unit", "detail", "line", "column")
+
+    def __init__(self, unit, detail=None, line=None, column=None):
+        self.unit = unit
+        self.detail = detail
+        self.line = line
+        self.column = column
+
+    def as_dict(self):
+        return {
+            "unit": self.unit,
+            "detail": self.detail,
+            "line": self.line,
+            "column": self.column,
+        }
+
+    def __eq__(self, other):
+        return isinstance(other, Span) and (
+            (self.unit, self.detail, self.line, self.column)
+            == (other.unit, other.detail, other.line, other.column)
+        )
+
+    def __hash__(self):
+        return hash(("Span", self.unit, self.detail, self.line, self.column))
+
+    def __str__(self):
+        text = self.unit
+        if self.line is not None:
+            text += ":%d" % self.line
+            if self.column is not None:
+                text += ":%d" % self.column
+        if self.detail is not None:
+            text += " `%s`" % self.detail
+        return text
+
+    def __repr__(self):
+        return "Span(%r, detail=%r, line=%r, column=%r)" % (
+            self.unit,
+            self.detail,
+            self.line,
+            self.column,
+        )
+
+
+class Diagnostic:
+    """One structured finding: code, severity, message, optional span."""
+
+    __slots__ = ("code", "severity", "message", "span")
+
+    def __init__(self, code, message, severity=SEVERITY_ERROR, span=None):
+        if severity not in SEVERITIES:
+            raise ValueError("unknown severity %r" % severity)
+        self.code = code
+        self.severity = severity
+        self.message = message
+        self.span = span
+
+    def as_dict(self):
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "span": self.span.as_dict() if self.span is not None else None,
+        }
+
+    def sort_key(self):
+        return (
+            SEVERITIES.index(self.severity),
+            self.code,
+            self.span.unit if self.span is not None else "",
+            self.message,
+        )
+
+    def __eq__(self, other):
+        return isinstance(other, Diagnostic) and (
+            (self.code, self.severity, self.message, self.span)
+            == (other.code, other.severity, other.message, other.span)
+        )
+
+    def __hash__(self):
+        return hash(("Diagnostic", self.code, self.severity, self.message, self.span))
+
+    def __str__(self):
+        text = "%s[%s] %s" % (self.severity, self.code, self.message)
+        if self.span is not None:
+            text += "  (%s)" % self.span
+        return text
+
+    def __repr__(self):
+        return "Diagnostic(%r, %r, severity=%r, span=%r)" % (
+            self.code,
+            self.message,
+            self.severity,
+            self.span,
+        )
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Class attributes ``code`` and ``severity`` give each error family a
+    default diagnostic identity; both (and a :class:`Span`) can be
+    overridden per raise via keyword arguments.
+    """
+
+    code = "MBM000"
+    severity = SEVERITY_ERROR
+    span = None
+
+    def __init__(self, *args, code=None, span=None):
+        super().__init__(*args)
+        if code is not None:
+            self.code = code
+        if span is not None:
+            self.span = span
+
+    def to_diagnostic(self):
+        """This error as a :class:`Diagnostic` record."""
+        return Diagnostic(
+            self.code, str(self), severity=self.severity, span=self.span
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -31,6 +178,8 @@ class ParseError(DatalogError):
         column: 1-based column number of the error.
     """
 
+    code = "MBM090"
+
     def __init__(self, message, text=None, position=None):
         self.text = text
         self.position = position
@@ -45,16 +194,32 @@ class ParseError(DatalogError):
 
 
 class SafetyError(DatalogError):
-    """A rule violates range restriction / negation or aggregate safety."""
+    """A rule violates range restriction / negation or aggregate safety.
+
+    The default code is the range-restriction violation; the safety
+    checker raises with the specific ``MBM001``–``MBM004`` code of the
+    violated condition.
+    """
+
+    code = "MBM001"
 
 
 class StratificationError(DatalogError):
-    """A program cannot be stratified (e.g. aggregation through recursion)."""
+    """A program cannot be stratified (e.g. aggregation through recursion).
+
+    Raised with ``MBM005`` for negation through recursion (which the
+    engine can still evaluate under the well-founded semantics) and
+    ``MBM006`` for aggregation through recursion (rejected outright).
+    """
+
+    code = "MBM006"
 
 
 class EvaluationError(DatalogError):
     """A runtime failure during bottom-up evaluation (e.g. a builtin was
     called with unbound arguments that it requires to be bound)."""
+
+    code = "MBM091"
 
 
 # ---------------------------------------------------------------------------
@@ -84,6 +249,8 @@ class GCMError(ReproError):
 class SchemaError(GCMError):
     """A CM schema declaration is malformed or inconsistent."""
 
+    code = "MBM011"
+
 
 class ConstraintViolation(GCMError):
     """Raised (on request) when integrity checking finds `ic` witnesses.
@@ -108,9 +275,13 @@ class DomainMapError(ReproError):
 class UnknownConceptError(DomainMapError):
     """A concept name was used that is not declared in the domain map."""
 
+    code = "MBM020"
+
 
 class UnknownRoleError(DomainMapError):
     """A role name was used that is not declared in the domain map."""
+
+    code = "MBM025"
 
 
 class UndecidableFragmentError(DomainMapError):
@@ -148,7 +319,13 @@ class SourceError(ReproError):
 
 class CapabilityError(SourceError):
     """A query was sent to a source that its declared capabilities
-    cannot answer (e.g. an unsupported binding pattern)."""
+    cannot answer (e.g. an unsupported binding pattern).
+
+    Malformed binding-pattern declarations raise with code ``MBM041``;
+    unanswerable selections keep the default ``MBM040``.
+    """
+
+    code = "MBM040"
 
 
 class RelStoreError(SourceError):
@@ -167,11 +344,25 @@ class MediatorError(ReproError):
 class RegistrationError(MediatorError):
     """A source registration message was rejected."""
 
+    code = "MBM043"
+
+    def __init__(self, *args, diagnostics=(), code=None, span=None):
+        super().__init__(*args, code=code, span=span)
+        self.diagnostics = tuple(diagnostics)
+
 
 class PlanningError(MediatorError):
     """No executable plan exists for a query (e.g. no source can supply
     bindings required by another source's binding pattern)."""
 
+    code = "MBM042"
+
 
 class ViewError(MediatorError):
     """An integrated view definition is malformed."""
+
+    code = "MBM030"
+
+    def __init__(self, *args, diagnostics=(), code=None, span=None):
+        super().__init__(*args, code=code, span=span)
+        self.diagnostics = tuple(diagnostics)

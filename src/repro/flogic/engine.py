@@ -93,11 +93,23 @@ class FLogicEngine:
         program.extend(extra_rules)
         return program
 
-    def evaluate(self):
+    def program(self, extra_rules=()):
+        """The fully assembled Datalog program the engine would run —
+        told rules plus core/inheritance axioms — without evaluating
+        anything.  Static analysis (``repro lint``) works on this."""
+        return self._assemble(extra_rules=extra_rules)
+
+    def evaluate(self, check_safety=True):
         """Evaluate the knowledge base; results are cached until the
-        next `tell`."""
+        next `tell`.
+
+        ``check_safety=False`` skips the per-rule range-restriction
+        check — only for callers that already verified the same rules
+        (e.g. the mediator re-evaluating its static program against
+        lazily fetched facts).
+        """
         if self._result is None:
-            self._result = evaluate(self._assemble())
+            self._result = evaluate(self._assemble(), check_safety=check_safety)
         return self._result
 
     @property

@@ -39,11 +39,25 @@ class BindingPattern:
         self.pattern = pattern
         if len(self.attributes) != len(pattern):
             raise CapabilityError(
-                "binding pattern %r does not match attributes %r"
-                % (pattern, self.attributes)
+                "binding pattern %r has %d flags but covers %d attributes "
+                "%r (one 'b'/'f' flag per attribute, in order)"
+                % (
+                    pattern,
+                    len(pattern),
+                    len(self.attributes),
+                    list(self.attributes),
+                ),
+                code="MBM041",
             )
-        if set(pattern) - {"b", "f"}:
-            raise CapabilityError("binding pattern %r must be over b/f" % pattern)
+        for position, flag in enumerate(pattern):
+            if flag not in ("b", "f"):
+                raise CapabilityError(
+                    "binding pattern %r has invalid flag %r at position %d "
+                    "(attribute %r); only 'b' (bound) and 'f' (free) are "
+                    "allowed"
+                    % (pattern, flag, position, self.attributes[position]),
+                    code="MBM041",
+                )
 
     @property
     def bound_attributes(self):
@@ -145,6 +159,28 @@ class ClassCapability:
         return any(
             pattern.accepts(selections) for pattern in self.binding_patterns
         )
+
+    def partition_selections(self, selections, always_bound=()):
+        """Split `selections` into ``(pushable, local)``.
+
+        An attribute is *pushable* when the source can answer it bound
+        together with the ``always_bound`` attributes (e.g. the anchor
+        attribute a retrieval step always binds); everything else must
+        be filtered *locally* by the mediator.  The single split point
+        for the planner, so push-down decisions and capability checks
+        cannot drift apart.
+        """
+        base = {attribute: None for attribute in always_bound}
+        pushable = {}
+        local = {}
+        for attribute, value in selections.items():
+            probe = dict(base)
+            probe[attribute] = None
+            if self.answerable(probe):
+                pushable[attribute] = value
+            else:
+                local[attribute] = value
+        return pushable, local
 
     def require_answerable(self, selections):
         if not self.answerable(selections):

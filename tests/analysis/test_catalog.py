@@ -1,0 +1,70 @@
+"""Catalog integrity: codes are stable API, so every code the library
+emits must be declared, with a valid severity and a title."""
+
+import pathlib
+import re
+
+from repro import errors
+from repro.analysis import CATALOG, diagnostic, severity_for, title_for
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_every_code_has_valid_severity_and_title():
+    for code, (severity, title) in CATALOG.items():
+        assert re.fullmatch(r"MBM\d{3}", code)
+        assert severity in errors.SEVERITIES
+        assert title
+
+
+def test_every_code_mentioned_in_source_is_declared():
+    mentioned = set()
+    for path in SRC.rglob("*.py"):
+        mentioned.update(re.findall(r"MBM\d{3}", path.read_text()))
+    undeclared = mentioned - set(CATALOG)
+    assert not undeclared, "codes used but not in CATALOG: %s" % sorted(undeclared)
+
+
+def test_error_classes_carry_declared_codes():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, errors.ReproError):
+            assert obj.code in CATALOG, "%s.code=%r not declared" % (name, obj.code)
+
+
+def test_severity_for_and_title_for():
+    assert severity_for("MBM001") == errors.SEVERITY_ERROR
+    assert severity_for("MBM008") == errors.SEVERITY_INFO
+    assert title_for("MBM021") == "isa cycle in the domain map"
+    assert severity_for("MBM999") == errors.SEVERITY_ERROR
+    assert title_for("MBM999") == ""
+
+
+def test_diagnostic_constructor_uses_catalog_severity():
+    diag = diagnostic("MBM007", "msg")
+    assert diag.severity == errors.SEVERITY_WARNING
+    overridden = diagnostic("MBM007", "msg", severity=errors.SEVERITY_ERROR)
+    assert overridden.severity == errors.SEVERITY_ERROR
+
+
+def test_runtime_error_family_codes():
+    """The exception classes raised at runtime map onto the same stable
+    code space the analyzer uses."""
+    expected = {
+        errors.ParseError: "MBM090",
+        errors.SafetyError: "MBM001",
+        errors.StratificationError: "MBM006",
+        errors.EvaluationError: "MBM091",
+        errors.SchemaError: "MBM011",
+        errors.UnknownConceptError: "MBM020",
+        errors.UnknownRoleError: "MBM025",
+        errors.CapabilityError: "MBM040",
+        errors.PlanningError: "MBM042",
+        errors.RegistrationError: "MBM043",
+        errors.ViewError: "MBM030",
+    }
+    for error_class, code in expected.items():
+        assert error_class.code == code, error_class
+        diag = error_class("msg").to_diagnostic()
+        assert diag.code == code
+        assert diag.severity == errors.SEVERITY_ERROR

@@ -1,0 +1,30 @@
+"""Golden-file test: the text rendering of the seeded broken
+deployment is stable, byte for byte.
+
+Regenerate after an intentional message change with::
+
+    PYTHONPATH=src:. python -c "
+    from tests.analysis.conftest import build_broken_deployment
+    from repro.analysis import analyze
+    open('tests/analysis/golden/broken_deployment.txt', 'w').write(
+        analyze(build_broken_deployment()).format_text() + '\\n')"
+"""
+
+import pathlib
+
+from repro.analysis import analyze
+
+from .conftest import build_broken_deployment
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "broken_deployment.txt"
+
+
+def test_broken_deployment_rendering_matches_golden_file():
+    report = analyze(build_broken_deployment())
+    assert report.format_text() + "\n" == GOLDEN.read_text()
+
+
+def test_rendering_is_deterministic():
+    first = analyze(build_broken_deployment()).format_text()
+    second = analyze(build_broken_deployment()).format_text()
+    assert first == second

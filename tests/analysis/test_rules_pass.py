@@ -1,0 +1,127 @@
+"""Golden tests for the rule-program pass: MBM001-MBM009."""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.analysis.rules import (
+    reference_diagnostics,
+    safety_diagnostics,
+    stratification_diagnostics,
+)
+from repro.datalog.parser import parse_program
+
+
+def codes_of(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestSafetyCodes:
+    def test_mbm001_head_not_range_restricted(self):
+        diags = analyze_program("p(X) :- q(Y).")
+        assert "MBM001" in codes_of(diags)
+        (diag,) = [d for d in diags if d.code == "MBM001"]
+        assert "X" in diag.message
+        assert diag.severity == "error"
+        assert "p(X) :- q(Y)." in str(diag.span)
+
+    def test_mbm002_variable_only_under_negation(self):
+        diags = analyze_program("p(X) :- q(X), not r(Y).")
+        assert "MBM002" in codes_of(diags)
+        (diag,) = [d for d in diags if d.code == "MBM002"]
+        assert "Y" in diag.message
+
+    def test_mbm003_unbound_comparison(self):
+        diags = analyze_program("p(X) :- q(X), Y > 3.")
+        codes = codes_of(diags)
+        assert "MBM003" in codes
+
+    def test_mbm004_unsafe_aggregate(self):
+        # the aggregated variable never occurs in the aggregate body
+        diags = analyze_program("p(N) :- N = count{Z; q(X)}.")
+        assert "MBM004" in codes_of(diags)
+
+    def test_mbm004_unbound_group_variable(self):
+        diags = analyze_program("p(G, N) :- N = count{X [G]; q(X)}.")
+        assert "MBM004" in codes_of(diags)
+
+    def test_clean_program_has_no_safety_diagnostics(self):
+        program = parse_program("p(X) :- q(X). q(a).")
+        assert safety_diagnostics(program) == []
+
+
+class TestStratificationCodes:
+    def test_mbm005_negation_through_recursion_is_warning(self):
+        program = parse_program(
+            "p(X) :- b(X), not q(X). q(X) :- b(X), not p(X). b(a)."
+        )
+        diags = stratification_diagnostics(program)
+        assert codes_of(diags).count("MBM005") >= 1
+        assert all(d.severity == "warning" for d in diags)
+        assert "negation through recursion" in diags[0].message
+
+    def test_mbm006_aggregation_through_recursion_is_error(self):
+        program = parse_program(
+            "base(a, 1). p(X, N) :- base(X, _), N = count{Y; p(Y, _)}."
+        )
+        diags = stratification_diagnostics(program)
+        assert "MBM006" in codes_of(diags)
+        assert all(d.severity == "error" for d in diags if d.code == "MBM006")
+
+    def test_stratified_program_is_silent(self):
+        program = parse_program("q(a). q(b). p(N) :- N = count{X; q(X)}.")
+        assert stratification_diagnostics(program) == []
+
+
+class TestReferenceCodes:
+    def test_mbm007_undefined_predicate(self):
+        diags = reference_diagnostics(parse_program("p(X) :- q(X)."))
+        undefined = [d for d in diags if d.code == "MBM007"]
+        assert len(undefined) == 1
+        assert "q/1" in undefined[0].message
+        assert undefined[0].severity == "warning"
+
+    def test_mbm007_suppressed_by_known_predicates(self):
+        diags = reference_diagnostics(
+            parse_program("p(X) :- q(X)."), known_predicates={"q"}
+        )
+        assert "MBM007" not in codes_of(diags)
+
+    def test_mbm007_suppressed_for_interface_predicates(self):
+        diags = reference_diagnostics(parse_program("p(X) :- instance(X, c)."))
+        assert "MBM007" not in codes_of(diags)
+
+    def test_mbm008_unused_predicate(self):
+        diags = reference_diagnostics(parse_program("p(X) :- q(X). q(a)."))
+        assert codes_of(diags) == ["MBM008"]
+        assert "p/1" in diags[0].message
+        assert diags[0].severity == "info"
+
+    def test_mbm008_suppressed_by_entry_points(self):
+        diags = reference_diagnostics(
+            parse_program("p(X) :- q(X). q(a)."), entry_points={"p"}
+        )
+        assert "MBM008" not in codes_of(diags)
+
+    def test_mbm009_multiple_arities(self):
+        diags = reference_diagnostics(
+            parse_program("p(X) :- p(X, X). p(a, b).")
+        )
+        assert "MBM009" in codes_of(diags)
+        (diag,) = [d for d in diags if d.code == "MBM009"]
+        assert "1, 2" in diag.message
+
+    def test_aggregate_bodies_count_as_uses(self):
+        program = parse_program("q(a). p(N) :- N = count{X; q(X)}.")
+        diags = reference_diagnostics(program, entry_points={"p"})
+        assert diags == []
+
+
+class TestAnalyzeProgramInputs:
+    def test_accepts_text(self):
+        assert analyze_program("p(a).") == []
+
+    def test_accepts_program(self):
+        assert analyze_program(parse_program("p(a).")) == []
+
+    def test_accepts_rule_iterable(self):
+        assert analyze_program(list(parse_program("p(a)."))) == []

@@ -97,3 +97,83 @@ class TestPackageSurface:
         ):
             for name in module.__all__:
                 assert hasattr(module, name), (module.__name__, name)
+
+
+class TestSpan:
+    def test_str_with_unit_only(self):
+        assert str(errors.Span("view v")) == "view v"
+
+    def test_str_with_line_column_and_detail(self):
+        span = errors.Span("file.fl", detail="p(X).", line=3, column=7)
+        assert str(span) == "file.fl:3:7 `p(X).`"
+
+    def test_as_dict(self):
+        span = errors.Span("u", detail="d", line=1, column=2)
+        assert span.as_dict() == {
+            "unit": "u",
+            "detail": "d",
+            "line": 1,
+            "column": 2,
+        }
+
+
+class TestDiagnostic:
+    def test_defaults_to_error_severity(self):
+        diag = errors.Diagnostic("MBM001", "msg")
+        assert diag.severity == errors.SEVERITY_ERROR
+
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            errors.Diagnostic("MBM001", "msg", severity="fatal")
+
+    def test_str_rendering(self):
+        diag = errors.Diagnostic(
+            "MBM021", "isa cycle", severity="error",
+            span=errors.Span("domain map d"),
+        )
+        assert str(diag) == "error[MBM021] isa cycle  (domain map d)"
+
+    def test_as_dict_round_trip(self):
+        diag = errors.Diagnostic("MBM007", "m", severity="warning")
+        as_dict = diag.as_dict()
+        assert as_dict["code"] == "MBM007"
+        assert as_dict["severity"] == "warning"
+        assert as_dict["span"] is None
+
+    def test_sort_key_orders_by_severity_then_code(self):
+        error = errors.Diagnostic("MBM030", "m", severity="error")
+        warning = errors.Diagnostic("MBM005", "m", severity="warning")
+        info = errors.Diagnostic("MBM008", "m", severity="info")
+        assert sorted([info, warning, error], key=lambda d: d.sort_key()) == [
+            error, warning, info,
+        ]
+
+
+class TestErrorDiagnostics:
+    def test_every_error_class_has_a_code(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, errors.ReproError):
+                assert obj.code.startswith("MBM"), name
+
+    def test_to_diagnostic_carries_code_and_message(self):
+        exc = errors.SafetyError("unsafe rule")
+        diag = exc.to_diagnostic()
+        assert diag.code == "MBM001"
+        assert diag.message == "unsafe rule"
+        assert diag.severity == errors.SEVERITY_ERROR
+
+    def test_code_override_at_raise_site(self):
+        exc = errors.SafetyError("negated", code="MBM002")
+        assert exc.to_diagnostic().code == "MBM002"
+
+    def test_span_attachment(self):
+        span = errors.Span("view v")
+        exc = errors.ViewError("dead", span=span)
+        assert exc.to_diagnostic().span is span
+
+    def test_registration_error_carries_diagnostics(self):
+        diags = (errors.Diagnostic("MBM024", "m"),)
+        exc = errors.RegistrationError("rejected", diagnostics=diags)
+        assert exc.diagnostics == diags
+        assert errors.ViewError("v").diagnostics == ()
