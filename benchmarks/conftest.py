@@ -5,9 +5,20 @@ example, or query plan) and asserts its shape, then times the kernel
 with pytest-benchmark.  Run with ``-s`` to see the regenerated tables::
 
     pytest benchmarks/ --benchmark-only -s
+
+Alongside the text report, every benchmark session writes
+``BENCH_summary.json`` at the repo root: kernel name -> timing stats,
+plus the key medtrace metric counters of one traced Section 5 run
+(rule firings, facts derived, per-source rows, wire bytes), so the
+bench trajectory is machine-readable run over run.
 """
 
 from __future__ import annotations
+
+import json
+import pathlib
+
+SUMMARY_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_summary.json"
 
 
 def report(title, lines):
@@ -18,3 +29,61 @@ def report(title, lines):
     print("#" * 72)
     for line in lines:
         print(line)
+
+
+def _timing_rows(session_config):
+    """pytest-benchmark stats, if the plugin ran any kernels."""
+    bench_session = getattr(session_config, "_benchmarksession", None)
+    rows = {}
+    if bench_session is None:
+        return rows
+    for bench in getattr(bench_session, "benchmarks", ()):
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        try:
+            rows[bench.fullname] = {
+                "min_s": stats.min,
+                "mean_s": stats.mean,
+                "max_s": stats.max,
+                "stddev_s": stats.stddev,
+                "rounds": stats.rounds,
+            }
+        except (AttributeError, TypeError):  # disabled/partial runs
+            continue
+    return rows
+
+
+def _obs_counters():
+    """Key metric counters from one traced Section 5 correlation run."""
+    from repro import obs
+    from repro.neuro import build_scenario, section5_query
+
+    with obs.capture("bench-summary") as tracer:
+        mediator = build_scenario(eager=False).mediator
+        _plan, context = mediator.correlate(section5_query())
+    metrics = tracer.metrics
+    return {
+        "answers": len(context.answers),
+        "datalog.evaluations": metrics.counter_total("datalog.evaluations"),
+        "datalog.rule_firings": metrics.counter_total("datalog.rule_firings"),
+        "datalog.facts_derived": metrics.counter_total("datalog.facts_derived"),
+        "dm.graphops": metrics.counter_total("dm.graphops"),
+        "planner.steps": metrics.counter_total("planner.steps"),
+        "source.queries": metrics.counter_total("source.queries"),
+        "source.rows_retrieved": metrics.counter_total("source.rows_retrieved"),
+        "wire.bytes": metrics.counter_total("wire.bytes"),
+        "spans": sum(1 for _ in tracer.iter_spans()),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the machine-readable benchmark summary at the repo root."""
+    try:
+        summary = {
+            "timings": _timing_rows(session.config),
+            "metrics": _obs_counters(),
+        }
+    except Exception as exc:  # never fail the session over the summary
+        summary = {"error": "%s: %s" % (type(exc).__name__, exc)}
+    SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")

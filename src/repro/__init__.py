@@ -9,6 +9,8 @@ negation.
 
 Package layout (bottom-up):
 
+* :mod:`repro.obs` — medtrace: span tracing + metrics (leaf package;
+  the no-op default keeps it free when disabled).
 * :mod:`repro.datalog` — Datalog with well-founded negation + aggregates.
 * :mod:`repro.flogic` — F-logic front end (Table 1 fragment) compiling
   to Datalog.

@@ -1,61 +1,83 @@
 """``python -m repro`` — the command-line front end.
 
-Two subcommands:
+Three subcommands:
 
 * ``demo`` (the default) — a compact live demo of the mediated system:
   builds the KIND scenario (including the ANATOM atlas source with its
   domain-map refinement), runs the paper's Section 5 query, and prints
-  a provenance trace for one mediated fact;
+  a provenance trace for one mediated fact; ``--trace`` appends the
+  medtrace span tree, ``--trace-json PATH`` writes the JSON document;
 * ``lint`` — medlint, the whole-deployment static analyzer: lints the
   deployments built by the given Python scripts (or the shipped KIND
   scenario when no target is given) and exits non-zero if any
-  error-severity diagnostic is reported.
+  error-severity diagnostic is reported;
+* ``trace`` — medtrace: runs the given deployment scripts (or the
+  shipped KIND scenario plus its Section 5 query) under an installed
+  tracer and prints the span tree and metrics (``--json`` for the
+  machine-readable document, ``--why FACT`` for a stratum/round-
+  annotated derivation tree of one mediated fact).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import io
 import json
 import sys
 
 
 def demo(args=None):
+    from repro import obs
     from repro.neuro import build_scenario, section5_query
 
-    print("repro: Model-Based Mediation with Domain Maps (ICDE 2001)")
-    print("=" * 64)
+    tracing = args is not None and (args.trace or args.trace_json)
+    tracer = obs.install(obs.Tracer("repro-demo")) if tracing else None
+    try:
+        print("repro: Model-Based Mediation with Domain Maps (ICDE 2001)")
+        print("=" * 64)
 
-    scenario = build_scenario(include_anatom_source=True)
-    mediator = scenario.mediator
-    print("sources registered over the XML wire:")
-    for message, size in mediator.wire_log:
-        print("  %-24s %7d bytes" % (message, size))
-    print(
-        "domain map: %d concepts (incl. %s from ANATOM's refinement)"
-        % (
-            len(mediator.dm.concepts),
-            ", ".join(
-                c for c in ("Basket_Cell", "Stellate_Cell", "Golgi_Cell")
-                if c in mediator.dm.concepts
-            ),
+        scenario = build_scenario(include_anatom_source=True)
+        mediator = scenario.mediator
+        print("sources registered over the XML wire:")
+        for message, size in mediator.wire_log:
+            print("  %-24s %7d bytes" % (message, size))
+        print(
+            "domain map: %d concepts (incl. %s from ANATOM's refinement)"
+            % (
+                len(mediator.dm.concepts),
+                ", ".join(
+                    c for c in ("Basket_Cell", "Stellate_Cell", "Golgi_Cell")
+                    if c in mediator.dm.concepts
+                ),
+            )
         )
-    )
 
-    print("\nSection 5 query: calcium-binding proteins in neurons")
-    print("receiving signals from parallel fibers in rat brains")
-    plan, context = mediator.correlate(section5_query())
-    print(plan.describe())
-    print("\nanswers (protein, cumulative amount below %s):" % context.root)
-    for protein, distribution in context.answers:
-        print("  %-22s %8.3f" % (protein, distribution.total()))
+        print("\nSection 5 query: calcium-binding proteins in neurons")
+        print("receiving signals from parallel fibers in rat brains")
+        plan, context = mediator.correlate(section5_query())
+        print(plan.describe())
+        print("\nanswers (protein, cumulative amount below %s):" % context.root)
+        for protein, distribution in context.answers:
+            print("  %-22s %8.3f" % (protein, distribution.total()))
 
-    obj = sorted(
-        row["X"]
-        for row in mediator.ask("X : 'Compartment'")
-        if str(row["X"]).startswith("NCMIR")
-    )[0]
-    print("\nwhy is %s a Compartment?" % obj)
-    print(mediator.explain("'%s' : 'Compartment'" % obj).format(indent=1))
+        obj = sorted(
+            row["X"]
+            for row in mediator.ask("X : 'Compartment'")
+            if str(row["X"]).startswith("NCMIR")
+        )[0]
+        print("\nwhy is %s a Compartment?" % obj)
+        print(mediator.explain("'%s' : 'Compartment'" % obj).format(indent=1))
+    finally:
+        if tracing:
+            obs.uninstall()
+    if tracer is not None:
+        if args.trace:
+            print("\n" + obs.render_tree(tracer))
+        if args.trace_json:
+            with open(args.trace_json, "w") as handle:
+                handle.write(obs.to_json(tracer) + "\n")
+            print("\ntrace written to %s" % args.trace_json)
     return 0
 
 
@@ -82,6 +104,57 @@ def lint(args):
     return 1 if any(report.has_errors for report in reports) else 0
 
 
+def trace(args):
+    """medtrace: run deployments under a tracer, print spans + metrics."""
+    from repro import obs
+
+    tracer = obs.install(obs.Tracer("repro-trace"))
+    why_output = None
+    try:
+        if args.targets:
+            import runpy
+
+            for target in args.targets:
+                with tracer.span("script", path=target):
+                    # the script's own printing is not the trace;
+                    # silence it unless asked to keep it
+                    if args.keep_output:
+                        runpy.run_path(target, run_name="__main__")
+                    else:
+                        sink = io.StringIO()
+                        with contextlib.redirect_stdout(sink):
+                            runpy.run_path(target, run_name="__main__")
+        else:
+            from repro.neuro import build_scenario, section5_query
+
+            scenario = build_scenario(include_anatom_source=True)
+            mediator = scenario.mediator
+            mediator.correlate(section5_query())
+            if args.why:
+                derivation = mediator.explain(args.why)
+                if derivation is None:
+                    why_output = "no derivation: %r is not in the model" % args.why
+                else:
+                    why_output = derivation.format()
+    finally:
+        obs.uninstall()
+
+    if args.json:
+        rendered = obs.to_json(tracer, mask_timings=args.mask_timings)
+    else:
+        rendered = obs.render_tree(tracer, mask_timings=args.mask_timings)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        print("trace written to %s" % args.out)
+    else:
+        print(rendered)
+    if why_output is not None:
+        print("\nwhy %s ?" % args.why)
+        print(why_output)
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -90,6 +163,16 @@ def build_parser():
     sub = parser.add_subparsers(dest="command")
 
     demo_parser = sub.add_parser("demo", help="run the KIND scenario demo")
+    demo_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="append the medtrace span tree to the demo output",
+    )
+    demo_parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        help="write the trace as a JSON document to PATH",
+    )
     demo_parser.set_defaults(func=demo)
 
     lint_parser = sub.add_parser(
@@ -114,6 +197,42 @@ def build_parser():
         help="follow each diagnostic with its catalog title",
     )
     lint_parser.set_defaults(func=lint)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run deployments under the medtrace tracer",
+        description="Run deployment scripts (or the shipped KIND "
+        "scenario and its Section 5 query, when no target is given) "
+        "with tracing enabled, then print the span tree and collected "
+        "metrics.  See docs/observability.md for the span taxonomy.",
+    )
+    trace_parser.add_argument(
+        "targets", nargs="*", help="deployment scripts (.py) to run traced"
+    )
+    trace_parser.add_argument(
+        "--json", action="store_true", help="emit the JSON trace document"
+    )
+    trace_parser.add_argument(
+        "--out", metavar="PATH", help="write the trace to PATH instead of stdout"
+    )
+    trace_parser.add_argument(
+        "--mask-timings",
+        action="store_true",
+        help="render timings as '--' (deterministic shape output)",
+    )
+    trace_parser.add_argument(
+        "--keep-output",
+        action="store_true",
+        help="do not silence the target scripts' own stdout",
+    )
+    trace_parser.add_argument(
+        "--why",
+        metavar="FACT",
+        help="also print a stratum/round-annotated derivation tree for "
+        "one mediated F-logic fact (shipped scenario only), e.g. "
+        "\"'NCMIR.protein_amount.1' : 'Compartment'\"",
+    )
+    trace_parser.set_defaults(func=trace)
     return parser
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..errors import (
     SEVERITY_ERROR,
     MediatorError,
@@ -34,7 +35,12 @@ from ..domainmap.registry import register_concepts
 from ..flogic.engine import FLogicEngine
 from ..gcm.constraints import check as gcm_check
 from .aggregate import Distribution, aggregate_over_dm
-from .planner import CorrelationQuery, execute as planner_execute, plan as planner_plan
+from .planner import (
+    CorrelationQuery,
+    execute as planner_execute,
+    explain as planner_explain,
+    plan as planner_plan,
+)
 from .registration import build_registration, parse_registration
 from .views import DistributionView, IntegratedView
 
@@ -99,12 +105,29 @@ class Mediator:
         """
         if wrapper.name in self._sources:
             raise RegistrationError("source %r already registered" % wrapper.name)
+        with obs.span(
+            "mediator.register",
+            source=wrapper.name,
+            via_xml=via_xml,
+            eager=eager,
+        ):
+            return self._register(wrapper, dm_refinement, eager, via_xml)
+
+    def _register(self, wrapper, dm_refinement, eager, via_xml):
         if via_xml:
-            message = build_registration(
-                wrapper, include_data=eager, dm_refinement=dm_refinement
-            )
-            self._wire_log.append(("register:%s" % wrapper.name, len(message)))
-            registration = parse_registration(message)
+            with obs.span(
+                "xml.wire", kind="register", source=wrapper.name
+            ) as wire_span:
+                message = build_registration(
+                    wrapper, include_data=eager, dm_refinement=dm_refinement
+                )
+                self._wire_log.append(
+                    ("register:%s" % wrapper.name, len(message))
+                )
+                registration = parse_registration(message)
+                wire_span.set(bytes=len(message))
+            obs.count("wire.messages", kind="register")
+            obs.count("wire.bytes", len(message), kind="register")
         else:
             from .registration import ParsedRegistration
 
@@ -174,8 +197,17 @@ class Mediator:
             return wrapper.query(source_query)
         from ..xmlio.messages import handle_request, query_to_xml, rows_from_xml
 
-        request = query_to_xml(source_query)
-        answer = handle_request(wrapper, request)
+        with obs.span(
+            "xml.wire",
+            kind="query",
+            source=source_name,
+            class_name=source_query.class_name,
+        ) as wire_span:
+            request = query_to_xml(source_query)
+            answer = handle_request(wrapper, request)
+            wire_span.set(bytes=len(request) + len(answer))
+        obs.count("wire.messages", kind="query")
+        obs.count("wire.bytes", len(request) + len(answer), kind="query")
         self._wire_log.append(
             ("query:%s.%s" % (source_name, source_query.class_name),
              len(request) + len(answer))
@@ -201,10 +233,13 @@ class Mediator:
             from ..flogic.parser import parse_fl_program
             from ..flogic.translate import Translator
 
-            translator = Translator()
-            self._view_rules.extend(
-                translator.translate_rules(parse_fl_program(view.fl_rules))
-            )
+            with obs.span("mediator.add_view", view=view.name) as span:
+                with obs.span("flogic.parse", chars=len(view.fl_rules)):
+                    fl_rules = parse_fl_program(view.fl_rules)
+                with obs.span("flogic.translate", fl_rules=len(fl_rules)):
+                    rules = Translator().translate_rules(fl_rules)
+                span.set(datalog_rules=len(rules))
+                self._view_rules.extend(rules)
         self._invalidate()
         return view
 
@@ -306,6 +341,14 @@ class Mediator:
         eagerly loaded instance data.
         """
         extra = list(extra_facts)
+        with obs.span(
+            "mediator.evaluate_with",
+            extra_facts=len(extra),
+            include_data=include_data,
+        ):
+            return self._evaluate_with(extra, include_data)
+
+    def _evaluate_with(self, extra, include_data):
         engine = FLogicEngine()
         engine.tell_rules(self.assembled_rules(include_data=include_data))
         engine.tell_rules(extra)
@@ -322,7 +365,10 @@ class Mediator:
 
     def ask(self, fl_query):
         """Answer an F-logic query over the mediated knowledge base."""
-        return self.engine().ask(fl_query)
+        with obs.span("mediator.ask", query=fl_query) as span:
+            answers = self.engine().ask(fl_query)
+            span.set(answers=len(answers))
+            return answers
 
     def ask_lazy(self, fl_query):
         """Answer a query by fetching only the source data it
@@ -335,11 +381,23 @@ class Mediator:
     def holds(self, fl_query):
         return bool(self.ask(fl_query))
 
-    def explain(self, fl_fact):
-        """Why does a mediated fact hold?  Returns a derivation tree
-        whose leaves are source-lifted facts, DM axioms and builtin
-        checks (see :mod:`repro.datalog.provenance`)."""
-        return self.engine().explain(fl_fact)
+    def explain(self, target, skip_failed_sources=False):
+        """EXPLAIN a query, or a fact's derivation.
+
+        * Given a :class:`CorrelationQuery`, plans *and runs* it under
+          a private tracer and returns a
+          :class:`~repro.core.planner.QueryExplain` — the annotated
+          plan with per-step wall time and cardinalities (the analogue
+          of SQL ``EXPLAIN ANALYZE``).
+        * Given F-logic fact text, returns its derivation tree, whose
+          leaves are source-lifted facts, DM axioms and builtin checks
+          (see :mod:`repro.datalog.provenance`).
+        """
+        if isinstance(target, CorrelationQuery):
+            return planner_explain(
+                self, target, skip_failed_sources=skip_failed_sources
+            )
+        return self.engine().explain(target)
 
     def check_integrity(self, constraints=(), raise_on_violation=False):
         """Two-phase integrity check over the mediated object base."""
@@ -429,9 +487,15 @@ class Mediator:
         failing source is recorded in ``context.errors`` rather than
         aborting the plan.
         """
-        return planner_execute(
-            self, query, skip_failed_sources=skip_failed_sources
-        )
+        with obs.span("mediator.correlate", seed_class=query.seed_class) as span:
+            query_plan, context = planner_execute(
+                self, query, skip_failed_sources=skip_failed_sources
+            )
+            span.set(
+                answers=len(context.answers),
+                skipped=len(context.errors),
+            )
+            return query_plan, context
 
     def __repr__(self):
         return "Mediator(%r, sources=%r, views=%r)" % (

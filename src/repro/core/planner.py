@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..errors import CapabilityError, PlanningError
 from ..domainmap.graphops import lub
 from ..sources.wrapper import SourceQuery
@@ -189,7 +190,7 @@ class RetrieveAnchoredStep(PlanStep):
             except (SourceError, XMLTransportError) as exc:
                 if not context.skip_failed_sources:
                     raise
-                context.errors.append((source, exc))
+                context.record_skipped(source, exc)
         context.retrieved = collected
         return collected
 
@@ -292,7 +293,11 @@ class PlanContext:
     With `skip_failed_sources`, retrieval errors from individual
     sources are recorded in `errors` instead of aborting the plan —
     the remaining sources still answer (partial results are the norm
-    in federations of independently operated labs).
+    in federations of independently operated labs).  Skips are *not*
+    silent: each one is kept in `errors`, mirrored on the active
+    trace as a ``plan.source_skipped`` event, and summarized by
+    :attr:`skipped_sources` / :attr:`degraded` / :meth:`failures` so
+    callers can tell a complete answer from a partial one.
     """
 
     def __init__(self, mediator, skip_failed_sources=False):
@@ -305,6 +310,39 @@ class PlanContext:
         self.answers: List = []
         self.skip_failed_sources = skip_failed_sources
         self.errors: List = []
+
+    def record_skipped(self, source, exc):
+        """Record one source skipped under `skip_failed_sources`."""
+        self.errors.append((source, exc))
+        obs.event(
+            "plan.source_skipped",
+            source=source,
+            error=type(exc).__name__,
+            message=str(exc),
+        )
+        obs.count("planner.sources_skipped")
+
+    @property
+    def skipped_sources(self):
+        """Names of the sources skipped during execution (in order)."""
+        return [source for source, _exc in self.errors]
+
+    @property
+    def degraded(self):
+        """True when at least one selected source failed to answer —
+        `answers` may be missing that source's contribution."""
+        return bool(self.errors)
+
+    def failures(self):
+        """JSON-ready skip records: source, error class, message."""
+        return [
+            {
+                "source": source,
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+            for source, exc in self.errors
+        ]
 
 
 class QueryPlan:
@@ -325,9 +363,27 @@ class QueryPlan:
 
     def execute(self, mediator, skip_failed_sources=False):
         context = PlanContext(mediator, skip_failed_sources=skip_failed_sources)
-        for step in self.steps:
-            step.run(context)
+        for index, step in enumerate(self.steps):
+            with obs.span(
+                "plan.step",
+                index=index + 1,
+                kind=step.kind,
+                describe=step.describe(),
+            ) as span:
+                output = step.run(context)
+                if span.enabled:
+                    span.set(cardinality=_cardinality(output))
+                    obs.count("planner.steps", kind=step.kind)
         return context
+
+
+def _cardinality(output):
+    """How many things a plan step produced (for EXPLAIN / spans)."""
+    if output is None:
+        return 0
+    if isinstance(output, (list, tuple, set, dict)):
+        return len(output)
+    return 1
 
 
 def plan(mediator, query):
@@ -336,6 +392,15 @@ def plan(mediator, query):
     Performs capability checks up front: the seed selections must be
     answerable by the seed source's binding patterns.
     """
+    with obs.span(
+        "plan.build",
+        seed_class=query.seed_class,
+        target_class=query.target_class,
+    ):
+        return _plan(mediator, query)
+
+
+def _plan(mediator, query):
     seed_source = query.seed_source
     if seed_source is None:
         exporters = [
@@ -405,3 +470,104 @@ def execute(mediator, query, skip_failed_sources=False):
         mediator, skip_failed_sources=skip_failed_sources
     )
     return query_plan, context
+
+
+class QueryExplain:
+    """EXPLAIN output for a correlation query: the executed plan
+    annotated with per-step wall time and cardinality, the skip
+    records, and the trace metrics of the run.
+
+    Returned by :meth:`Mediator.explain` when handed a
+    :class:`CorrelationQuery`; render with :meth:`format` or export
+    with :meth:`as_dict`.
+    """
+
+    def __init__(self, query_plan, context, steps, metrics):
+        self.plan = query_plan
+        self.context = context
+        #: list of dicts: index, kind, describe, seconds, cardinality,
+        #: events (the plan.source_skipped records, if any)
+        self.steps = steps
+        self.metrics = metrics
+
+    def format(self, mask_timings=False):
+        """Human-readable EXPLAIN block (deterministic when timings
+        are masked)."""
+        lines = ["EXPLAIN correlation plan (%d steps)" % len(self.steps)]
+        for step in self.steps:
+            if mask_timings or step["seconds"] is None:
+                timing = "      --"
+            else:
+                timing = "%7.2fms" % (step["seconds"] * 1000.0)
+            lines.append(
+                "%d. [%s] %s" % (step["index"], step["kind"], step["describe"])
+            )
+            lines.append(
+                "     time=%s  cardinality=%s" % (timing.strip(), step["cardinality"])
+            )
+            for event in step["events"]:
+                lines.append(
+                    "     ! %s: %s (%s)"
+                    % (event["source"], event["error"], event["message"])
+                )
+        if self.context.degraded:
+            lines.append(
+                "degraded answer: skipped sources %s"
+                % self.context.skipped_sources
+            )
+        from ..obs.render import render_metrics
+
+        lines.extend(render_metrics(self.metrics))
+        return "\n".join(lines)
+
+    def as_dict(self, mask_timings=False):
+        steps = []
+        for step in self.steps:
+            exported = dict(step)
+            if mask_timings:
+                exported["seconds"] = None
+            steps.append(exported)
+        return {
+            "steps": steps,
+            "degraded": self.context.degraded,
+            "skipped_sources": self.context.skipped_sources,
+            "failures": self.context.failures(),
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def __repr__(self):
+        return "QueryExplain(steps=%d, degraded=%r)" % (
+            len(self.steps),
+            self.context.degraded,
+        )
+
+
+def explain(mediator, query, skip_failed_sources=False):
+    """Plan *and execute* `query` under a private tracer; returns a
+    :class:`QueryExplain` with per-step timings and cardinalities.
+
+    Like SQL ``EXPLAIN ANALYZE``, this runs the query: cardinalities
+    and timings are measured, not estimated.
+    """
+    with obs.capture("explain") as tracer:
+        query_plan = plan(mediator, query)
+        context = query_plan.execute(
+            mediator, skip_failed_sources=skip_failed_sources
+        )
+    steps = []
+    for span in tracer.find_spans("plan.step"):
+        steps.append(
+            {
+                "index": span.attrs["index"],
+                "kind": span.attrs["kind"],
+                "describe": span.attrs["describe"],
+                "seconds": span.duration(),
+                "cardinality": span.attrs.get("cardinality"),
+                "events": [
+                    dict(event.attrs)
+                    for event in span.events
+                    if event.name == "plan.source_skipped"
+                ],
+            }
+        )
+    return QueryExplain(query_plan, context, steps, tracer.metrics)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..errors import EvaluationError, StratificationError
 from .ast import AggregateLiteral, Assignment, Atom, Comparison, Literal, Program, Rule
 from .builtins import solve_assignment, solve_comparison
@@ -41,13 +42,19 @@ class EvaluationResult:
             program needed the well-founded fallback).
         used_well_founded: True when the alternating fixpoint ran.
         strata: the stratification used (None under the fallback).
+        metrics: an :class:`~repro.obs.EvaluationMetrics` record (rule
+            firings, per-stratum/round fact counts, the ``derived_at``
+            map) — populated only when a tracer was active during
+            evaluation, None otherwise.
     """
 
-    def __init__(self, store, undefined=None, used_well_founded=False, strata=None):
+    def __init__(self, store, undefined=None, used_well_founded=False, strata=None,
+                 metrics=None):
         self.store = store
         self.undefined = undefined if undefined is not None else FactStore()
         self.used_well_founded = used_well_founded
         self.strata = strata
+        self.metrics = metrics
 
     def is_true(self, atom):
         return self.store.contains(atom)
@@ -86,25 +93,61 @@ def evaluate(program, check_safety=True, strategy="seminaive", max_facts=None):
         raise EvaluationError("unknown evaluation strategy %r" % strategy)
     if check_safety:
         check_program_safety(program)
+    tracer = obs.active()
+    metrics = obs.EvaluationMetrics() if tracer.enabled else None
     try:
         strata = stratify(program)
     except StratificationError:
         if not is_aggregate_stratified(program):
             raise
-        true_store, undefined = well_founded_model(program, check_safety=False)
+        true_store, undefined = well_founded_model(
+            program, check_safety=False, metrics=metrics
+        )
+        if metrics is not None:
+            metrics.store_size = len(true_store)
+            metrics.undefined_count = len(undefined)
+            tracer.count("datalog.evaluations")
         return EvaluationResult(
-            true_store, undefined=undefined, used_well_founded=True
+            true_store,
+            undefined=undefined,
+            used_well_founded=True,
+            metrics=metrics,
         )
     store = FactStore()
     evaluator = _Evaluator(
         store,
         seminaive=(strategy == "seminaive"),
         max_facts=max_facts if max_facts is not None else DEFAULT_MAX_FACTS,
+        tracer=tracer,
     )
-    for stratum in strata:
+    for index, stratum in enumerate(strata):
         rules = [r for r in program if r.head.signature in stratum]
-        evaluator.saturate(rules)
-    return EvaluationResult(store, strata=strata)
+        if metrics is None:
+            evaluator.saturate(rules)
+            continue
+        stratum_metrics = metrics.begin_stratum(
+            index, ("%s/%d" % sig for sig in stratum)
+        )
+        with tracer.span(
+            "datalog.stratum", index=index, relations=len(stratum)
+        ) as span:
+            evaluator.saturate(
+                rules,
+                stratum_metrics=stratum_metrics,
+                derived_at=metrics.derived_at,
+            )
+            span.set(
+                facts_derived=stratum_metrics.facts_derived,
+                rounds=len(stratum_metrics.rounds),
+            )
+    if metrics is not None:
+        metrics.rule_firings = evaluator.rule_firings
+        metrics.store_size = len(store)
+        tracer.count("datalog.evaluations")
+        tracer.count("datalog.rule_firings", evaluator.rule_firings)
+        tracer.count("datalog.facts_derived", metrics.facts_derived)
+        tracer.gauge("datalog.store_size", len(store))
+    return EvaluationResult(store, strata=strata, metrics=metrics)
 
 
 def query(program, goal, check_safety=True):
@@ -157,7 +200,7 @@ def _externalize(subst, goal):
     return binding
 
 
-def well_founded_model(program, check_safety=True, max_rounds=10_000):
+def well_founded_model(program, check_safety=True, max_rounds=10_000, metrics=None):
     """Compute the well-founded model by alternating fixpoint.
 
     Returns ``(true_store, undefined_store)``.  The iteration maintains
@@ -167,20 +210,33 @@ def well_founded_model(program, check_safety=True, max_rounds=10_000):
     with ``not q`` read as ``q not in J``.  T grows, U shrinks, and both
     converge because the ground instantiation is finite for safe,
     terminating programs.
+
+    `metrics` is an optional :class:`~repro.obs.EvaluationMetrics`
+    whose ``wf_alternations`` records how many T/U alternations ran.
     """
     if check_safety:
         check_program_safety(program)
+    tracer = obs.active()
     rules = list(program)
-    true_estimate = FactStore()  # T: certainly-true facts
-    possible = _gamma(rules, FactStore())  # U_0 = Gamma(empty): everything possible
-    for _round in range(max_rounds):
-        new_true = _gamma(rules, possible)
-        new_possible = _gamma(rules, new_true)
-        if new_true.same_facts(true_estimate) and new_possible.same_facts(possible):
-            break
-        true_estimate, possible = new_true, new_possible
-    else:
-        raise EvaluationError("well-founded computation did not converge")
+    with tracer.span("datalog.wellfounded", rules=len(rules)) as wf_span:
+        true_estimate = FactStore()  # T: certainly-true facts
+        possible = _gamma(rules, FactStore())  # U_0 = Gamma(empty): everything possible
+        alternations = 0
+        for _round in range(max_rounds):
+            with tracer.span("datalog.wf_round", round=_round):
+                new_true = _gamma(rules, possible)
+                new_possible = _gamma(rules, new_true)
+            alternations += 1
+            if new_true.same_facts(true_estimate) and new_possible.same_facts(possible):
+                break
+            true_estimate, possible = new_true, new_possible
+        else:
+            raise EvaluationError("well-founded computation did not converge")
+        if metrics is not None:
+            metrics.wf_alternations = alternations
+        if tracer.enabled:
+            wf_span.set(alternations=alternations)
+            tracer.count("datalog.wf_alternations", alternations)
     undefined = FactStore()
     for atom in possible.iter_atoms():
         if not true_estimate.contains(atom):
@@ -205,11 +261,16 @@ class _Evaluator:
     a stratum whose negated dependencies are already complete.
     """
 
-    def __init__(self, store, negation_store=None, seminaive=True, max_facts=None):
+    def __init__(self, store, negation_store=None, seminaive=True, max_facts=None,
+                 tracer=None):
         self.store = store
         self.negation_store = negation_store
         self.seminaive = seminaive
         self.max_facts = max_facts
+        self.tracer = tracer if tracer is not None else obs.NOOP
+        #: rule-instance firings (heads produced, pre-dedup); only
+        #: counted while a stratum_metrics record is being filled
+        self.rule_firings = 0
 
     def _check_budget(self):
         if self.max_facts is not None and len(self.store) > self.max_facts:
@@ -220,13 +281,17 @@ class _Evaluator:
 
     # -- saturation --------------------------------------------------
 
-    def saturate(self, rules):
+    def saturate(self, rules, stratum_metrics=None, derived_at=None):
         facts = [r for r in rules if r.is_fact]
         proper = [r for r in rules if not r.is_fact]
+        collect = stratum_metrics is not None
+        stratum_index = stratum_metrics.index if collect else 0
         delta = FactStore()
         for rule in facts:
             if self.store.add(rule.head):
                 delta.add(rule.head)
+                if collect and derived_at is not None:
+                    derived_at.setdefault(rule.head, (stratum_index, 0))
 
         local_sigs = {r.head.signature for r in rules}
         ordered = [(rule, _order_body(rule)) for rule in proper]
@@ -239,11 +304,18 @@ class _Evaluator:
                 rule.head.substitute(subst)
                 for subst in self._solve(body, 0, {}, None, None)
             ]
+            if collect:
+                self.rule_firings += len(heads)
             for head in heads:
                 if not head.is_ground():
                     raise EvaluationError("derived non-ground fact %s" % head)
                 if self.store.add(head):
                     delta.add(head)
+                    if collect and derived_at is not None:
+                        derived_at.setdefault(head, (stratum_index, 0))
+        if collect:
+            stratum_metrics.rounds.append(len(delta))
+            stratum_metrics.facts_derived += len(delta)
 
         # Semi-naive rounds: require one recursive literal in the delta.
         recursive = []
@@ -262,34 +334,66 @@ class _Evaluator:
             # Naive ablation: every recursive rule refires against the
             # full store each round until nothing new is derived.
             changed = bool(delta)
+            round_no = 0
             while changed:
                 changed = False
+                round_no += 1
+                derived_this_round = 0
                 for rule, body, _positions in recursive:
                     heads = [
                         rule.head.substitute(subst)
                         for subst in self._solve(body, 0, {}, None, None)
                     ]
+                    if collect:
+                        self.rule_firings += len(heads)
                     for head in heads:
                         if self.store.add(head):
                             changed = True
+                            derived_this_round += 1
+                            if collect and derived_at is not None:
+                                derived_at.setdefault(
+                                    head, (stratum_index, round_no)
+                                )
+                if collect:
+                    stratum_metrics.rounds.append(derived_this_round)
+                    stratum_metrics.facts_derived += derived_this_round
                 self._check_budget()
             return
 
+        if not recursive:
+            self._check_budget()
+            return
+
+        round_no = 0
         while len(delta):
-            new_delta = FactStore()
-            for rule, body, delta_positions in recursive:
-                for position in delta_positions:
-                    heads = [
-                        rule.head.substitute(subst)
-                        for subst in self._solve(body, 0, {}, position, delta)
-                    ]
-                    for head in heads:
-                        if not head.is_ground():
-                            raise EvaluationError(
-                                "derived non-ground fact %s" % head
-                            )
-                        if self.store.add(head):
-                            new_delta.add(head)
+            round_no += 1
+            with self.tracer.span(
+                "datalog.round", round=round_no, delta_in=len(delta)
+            ) as round_span:
+                new_delta = FactStore()
+                for rule, body, delta_positions in recursive:
+                    for position in delta_positions:
+                        heads = [
+                            rule.head.substitute(subst)
+                            for subst in self._solve(body, 0, {}, position, delta)
+                        ]
+                        if collect:
+                            self.rule_firings += len(heads)
+                        for head in heads:
+                            if not head.is_ground():
+                                raise EvaluationError(
+                                    "derived non-ground fact %s" % head
+                                )
+                            if self.store.add(head):
+                                new_delta.add(head)
+                                if collect and derived_at is not None:
+                                    derived_at.setdefault(
+                                        head, (stratum_index, round_no)
+                                    )
+                if collect:
+                    stratum_metrics.rounds.append(len(new_delta))
+                    stratum_metrics.facts_derived += len(new_delta)
+                    round_span.set(delta_out=len(new_delta))
             self._check_budget()
             delta = new_delta
 

@@ -29,13 +29,33 @@ from .terms import substitute
 
 
 class Derivation:
-    """One node of a proof tree."""
+    """One node of a proof tree.
 
-    def __init__(self, atom, rule=None, children=(), note=None):
+    `derived_at` is an optional (stratum, round) pair recording when
+    the evaluator first derived this atom — filled in from
+    :class:`~repro.obs.EvaluationMetrics` when the evaluation ran
+    under a tracer (see :func:`explain`'s `metrics` argument).
+    """
+
+    def __init__(self, atom, rule=None, children=(), note=None, derived_at=None):
         self.atom = atom
         self.rule = rule
         self.children = list(children)
         self.note = note
+        self.derived_at = derived_at
+
+    def annotate(self, metrics):
+        """Recursively attach (stratum, round) pairs from an
+        :class:`~repro.obs.EvaluationMetrics` record; returns self."""
+        if metrics is not None and metrics.derived_at:
+            for node in self._walk():
+                node.derived_at = metrics.derived_at.get(node.atom)
+        return self
+
+    def _walk(self):
+        yield self
+        for child in self.children:
+            yield from child._walk()
 
     @property
     def is_fact(self):
@@ -64,6 +84,8 @@ class Derivation:
             label += "   [fact]"
         elif self.rule is not None:
             label += "   [rule: %s]" % self.rule
+        if self.derived_at is not None:
+            label += "   (stratum %d, round %d)" % self.derived_at
         lines = [pad + label]
         for child in self.children:
             lines.append(child.format(indent + 1))
@@ -155,7 +177,7 @@ class _Explainer:
         return children
 
 
-def explain(program, atom, result=None):
+def explain(program, atom, result=None, metrics=None):
     """Build a :class:`Derivation` for a ground atom, or None.
 
     Args:
@@ -163,10 +185,19 @@ def explain(program, atom, result=None):
         atom: the ground atom to explain.
         result: a prior :class:`EvaluationResult` to reuse; evaluated
             fresh when omitted.
+        metrics: an :class:`~repro.obs.EvaluationMetrics` whose
+            ``derived_at`` map annotates each proof node with the
+            (stratum, round) it was first derived in.  Defaults to
+            ``result.metrics`` when the evaluation ran under a tracer.
     """
     if not atom.is_ground():
         raise EvaluationError("can only explain ground atoms, got %s" % atom)
     if result is None:
         result = evaluate(program)
+    if metrics is None:
+        metrics = getattr(result, "metrics", None)
     explainer = _Explainer(program, result.store)
-    return explainer.explain(atom, frozenset())
+    derivation = explainer.explain(atom, frozenset())
+    if derivation is not None:
+        derivation.annotate(metrics)
+    return derivation

@@ -37,6 +37,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 import networkx as nx
 
+from .. import obs
 from ..errors import NoUpperBoundError
 from ..datalog.ast import Program, Rule
 from ..datalog.parser import parse_program
@@ -79,11 +80,17 @@ def isa_graph(dm, include_eqv=True):
 
 def isa_closure(dm, reflexive=True):
     """(Reflexive-)transitive closure of isa over the concepts."""
-    graph = isa_graph(dm)
-    closure = transitive_closure(graph.edges)
-    if reflexive:
-        closure |= {(c, c) for c in dm.concepts}
-    return closure
+    with obs.span(
+        "dm.tc", concepts=len(dm.concepts), reflexive=reflexive
+    ) as span:
+        graph = isa_graph(dm)
+        closure = transitive_closure(graph.edges)
+        if reflexive:
+            closure |= {(c, c) for c in dm.concepts}
+        if span.enabled:
+            span.set(pairs=len(closure))
+            obs.count("dm.graphops", op="tc")
+        return closure
 
 
 def role_graph(dm, role):
@@ -112,6 +119,15 @@ def deductive_closure(dm, role, mode="full"):
       `Neuron`) and then descending isa again would leak into sibling
       regions of the map.
     """
+    with obs.span("dm.dc", role=role, mode=mode) as span:
+        links = _deductive_closure(dm, role, mode)
+        if span.enabled:
+            span.set(links=len(links))
+            obs.count("dm.graphops", op="dc")
+        return links
+
+
+def _deductive_closure(dm, role, mode):
     rtc = isa_closure(dm, reflexive=True)
     below: Dict[str, Set[str]] = {}
     above: Dict[str, Set[str]] = {}
@@ -266,19 +282,25 @@ def least_upper_bounds(dm, concepts, order="isa"):
     In a DAG the lub need not be unique; all minimal common ancestors
     are returned, ordered by name for determinism.
     """
-    bounds = upper_bounds(dm, concepts, order)
-    if not bounds:
-        raise NoUpperBoundError(
-            "concepts %s have no common %s-ancestor"
-            % (sorted(concepts), order)
-        )
-    graph = navigation_graph(dm, order)
-    minimal = {
-        b
-        for b in bounds
-        if not any(o != b and b in nx.ancestors(graph, o) for o in bounds)
-    }
-    return sorted(minimal)
+    concepts = list(concepts)
+    with obs.span("dm.lub", concepts=len(concepts), order=order) as span:
+        bounds = upper_bounds(dm, concepts, order)
+        if not bounds:
+            raise NoUpperBoundError(
+                "concepts %s have no common %s-ancestor"
+                % (sorted(concepts), order)
+            )
+        graph = navigation_graph(dm, order)
+        minimal = {
+            b
+            for b in bounds
+            if not any(o != b and b in nx.ancestors(graph, o) for o in bounds)
+        }
+        result = sorted(minimal)
+        if span.enabled:
+            span.set(bounds=len(result))
+            obs.count("dm.graphops", op="lub")
+        return result
 
 
 def lub(dm, concepts, order="isa"):
@@ -299,9 +321,14 @@ def part_tree(dm, root, role="has", include_isa=True):
     """The subgraph of direct `role` links reachable from `root` —
     what the mediator's recursive `aggregate` traverses (Example 4)."""
     dm.require_concept(root)
-    graph = part_graph(dm, role, include_isa)
-    reachable = {root} | nx.descendants(graph, root)
-    return graph.subgraph(reachable).copy()
+    with obs.span("dm.part_tree", root=root, role=role) as span:
+        graph = part_graph(dm, role, include_isa)
+        reachable = {root} | nx.descendants(graph, root)
+        tree = graph.subgraph(reachable).copy()
+        if span.enabled:
+            span.set(nodes=tree.number_of_nodes())
+            obs.count("dm.graphops", op="part_tree")
+        return tree
 
 
 def downward_closure(dm, root, role="has", include_isa=True):

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
+from .. import obs
 from ..datalog.ast import Atom, Program, Rule
 from ..datalog.engine import EvaluationResult, evaluate
 from ..datalog.parser import parse_program as parse_datalog
@@ -39,12 +40,19 @@ class FLogicEngine:
 
     def tell(self, fl_text):
         """Parse and add F-logic source text."""
-        self.tell_fl_rules(parse_fl_program(fl_text))
+        with obs.span("flogic.parse", chars=len(fl_text)) as span:
+            fl_rules = parse_fl_program(fl_text)
+            span.set(fl_rules=len(fl_rules))
+        self.tell_fl_rules(fl_rules)
         return self
 
     def tell_fl_rules(self, fl_rules):
         """Add already-parsed F-logic rules."""
-        self._add_rules(self._translator.translate_rules(list(fl_rules)))
+        fl_rules = list(fl_rules)
+        with obs.span("flogic.translate", fl_rules=len(fl_rules)) as span:
+            rules = self._translator.translate_rules(fl_rules)
+            span.set(datalog_rules=len(rules))
+        self._add_rules(rules)
         return self
 
     def tell_datalog(self, text_or_program):
@@ -109,7 +117,11 @@ class FLogicEngine:
         lazily fetched facts).
         """
         if self._result is None:
-            self._result = evaluate(self._assemble(), check_safety=check_safety)
+            with obs.span("flogic.evaluate", rules=len(self._rules)) as span:
+                self._result = evaluate(
+                    self._assemble(), check_safety=check_safety
+                )
+                span.set(facts=len(self._result.store))
         return self._result
 
     @property
@@ -126,21 +138,23 @@ class FLogicEngine:
 
             engine.ask("X : neuron[has -> C]")
         """
-        fl_items = parse_fl_body(query_text)
-        body, aux_rules = self._translator.translate_body(fl_items)
-        answer_vars = sorted(
-            {
-                v
-                for item in body
-                for v in item.variables()
-                if not v.is_anonymous and not v.name.startswith("_fl")
-            },
-            key=lambda v: v.name,
-        )
-        goal = Atom("_query", tuple(answer_vars))
-        query_rule = Rule(goal, tuple(body))
-        program = self._assemble(extra_rules=list(aux_rules) + [query_rule])
-        result = evaluate(program)
+        with obs.span("flogic.ask", query=query_text) as ask_span:
+            fl_items = parse_fl_body(query_text)
+            body, aux_rules = self._translator.translate_body(fl_items)
+            answer_vars = sorted(
+                {
+                    v
+                    for item in body
+                    for v in item.variables()
+                    if not v.is_anonymous and not v.name.startswith("_fl")
+                },
+                key=lambda v: v.name,
+            )
+            goal = Atom("_query", tuple(answer_vars))
+            query_rule = Rule(goal, tuple(body))
+            program = self._assemble(extra_rules=list(aux_rules) + [query_rule])
+            result = evaluate(program)
+            ask_span.set(answers=len(list(result.store.rows(goal.signature))))
         bindings = []
         for args in result.store.rows(goal.signature):
             binding = {}

@@ -1,0 +1,107 @@
+"""medtrace renderers: human span trees and the JSON export.
+
+Mirrors the rendering discipline of :mod:`repro.analysis.report`:
+deterministic ordering everywhere (attributes sorted by name, children
+in recording order), so ``mask_timings=True`` output is byte-stable and
+golden-testable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+MASKED = "      --"
+
+
+def _format_attrs(attrs):
+    return " ".join(
+        "%s=%s" % (key, _format_value(attrs[key])) for key in sorted(attrs)
+    )
+
+
+def _format_value(value):
+    if isinstance(value, float):
+        return "%.6g" % value
+    if isinstance(value, str) and (" " in value or not value):
+        return repr(value)
+    return str(value)
+
+
+def _format_ms(seconds, mask_timings):
+    if mask_timings or seconds is None:
+        return MASKED
+    return "%7.2fms" % (seconds * 1000.0)
+
+
+def _span_lines(span, indent, mask_timings, lines):
+    pad = "  " * indent
+    label = span.name
+    attrs = _format_attrs(span.attrs)
+    if attrs:
+        label = "%s  {%s}" % (label, attrs)
+    lines.append(
+        "%s %s%s" % (_format_ms(span.duration(), mask_timings), pad, label)
+    )
+    for event in span.events:
+        event_attrs = _format_attrs(event.attrs)
+        lines.append(
+            "%s %s  ! %s%s"
+            % (
+                MASKED,
+                pad,
+                event.name,
+                ("  {%s}" % event_attrs) if event_attrs else "",
+            )
+        )
+    for child in span.children:
+        _span_lines(child, indent + 1, mask_timings, lines)
+
+
+def render_tree(tracer, mask_timings=False, metrics=True):
+    """Human-readable span forest (plus a metrics tail).
+
+    With ``mask_timings=True`` every duration column renders as ``--``,
+    making the output a pure *shape* — names, nesting, attributes —
+    suitable for golden-file tests.
+    """
+    lines: List[str] = ["trace: %s" % tracer.name]
+    for root in tracer.roots:
+        _span_lines(root, 0, mask_timings, lines)
+    if metrics:
+        lines.extend(render_metrics(tracer.metrics))
+    return "\n".join(lines)
+
+
+def render_metrics(metrics):
+    """The counter/gauge tail of the tree rendering."""
+    exported = metrics.as_dict()
+    lines: List[str] = []
+    if exported["counters"]:
+        lines.append("counters:")
+        for row in exported["counters"]:
+            lines.append("  %s = %s" % (_metric_label(row), _format_value(row["value"])))
+    if exported["gauges"]:
+        lines.append("gauges:")
+        for row in exported["gauges"]:
+            lines.append("  %s = %s" % (_metric_label(row), _format_value(row["value"])))
+    return lines
+
+
+def _metric_label(row):
+    if not row["labels"]:
+        return row["name"]
+    labels = ",".join(
+        "%s=%s" % (k, _format_value(v)) for k, v in sorted(row["labels"].items())
+    )
+    return "%s{%s}" % (row["name"], labels)
+
+
+def to_json(tracer, mask_timings=False, indent=2):
+    """The one-document JSON export: span forest + metrics."""
+    return json.dumps(
+        tracer.as_dict(mask_timings=mask_timings),
+        indent=indent,
+        sort_keys=True,
+        default=str,
+    )

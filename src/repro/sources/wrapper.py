@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..errors import CapabilityError, SchemaError, SourceError
 from ..datalog.ast import Atom, Rule
 from ..datalog.terms import Const
@@ -290,15 +291,29 @@ class Wrapper:
     def query(self, source_query):
         """Answer a :class:`SourceQuery`; returns row dicts (methods as
         keys, plus ``_object`` holding the lifted object id)."""
-        export = self._export(source_query.class_name)
-        capability = self._capability(source_query.class_name)
-        capability.require_answerable(source_query.selections)
-        where = {
-            export.methods[attribute]: value
-            for attribute, value in source_query.selections.items()
-        }
-        raw_rows = self.store.select(export.table_name, where=where)
-        return [self._present(export, row, source_query.projection) for row in raw_rows]
+        with obs.span(
+            "source.query",
+            source=self.name,
+            class_name=source_query.class_name,
+            selections=len(source_query.selections),
+        ) as span:
+            export = self._export(source_query.class_name)
+            capability = self._capability(source_query.class_name)
+            capability.require_answerable(source_query.selections)
+            where = {
+                export.methods[attribute]: value
+                for attribute, value in source_query.selections.items()
+            }
+            raw_rows = self.store.select(export.table_name, where=where)
+            rows = [
+                self._present(export, row, source_query.projection)
+                for row in raw_rows
+            ]
+            if span.enabled:
+                span.set(rows=len(rows))
+                obs.count("source.queries", source=self.name)
+                obs.count("source.rows_retrieved", len(rows), source=self.name)
+            return rows
 
     def run_template(self, class_name, template_name, **arguments):
         """Execute a declared query template."""
@@ -312,8 +327,18 @@ class Wrapper:
         template.check_arguments(arguments)
         body = self._template_bodies[(class_name, template_name)]
         export = self._export(class_name)
-        raw_rows = body(self.store, **arguments)
-        return [self._present(export, row, None) for row in raw_rows]
+        with obs.span(
+            "source.template",
+            source=self.name,
+            class_name=class_name,
+            template=template_name,
+        ) as span:
+            raw_rows = body(self.store, **arguments)
+            rows = [self._present(export, row, None) for row in raw_rows]
+            if span.enabled:
+                span.set(rows=len(rows))
+                obs.count("source.rows_retrieved", len(rows), source=self.name)
+            return rows
 
     def _present(self, export, raw_row, projection):
         row = {

@@ -34,6 +34,7 @@ from __future__ import annotations
 import xml.etree.ElementTree as ET
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..errors import XMLTransportError
 from .doc import element_value, parse_xml, serialize, value_element
 
@@ -149,13 +150,22 @@ def handle_request(wrapper, request_xml):
     :class:`~repro.errors.SourceError` to the caller (the transport is
     in-process; a networked deployment would serialize those too).
     """
-    root = parse_xml(request_xml)
-    if root.tag == "source-query":
-        source_query = query_from_xml(root)
-        rows = wrapper.query(source_query)
-        return rows_to_xml(source_query.class_name, rows)
-    if root.tag == "template-query":
-        class_name, template_name, arguments = template_query_from_xml(root)
-        rows = wrapper.run_template(class_name, template_name, **arguments)
-        return rows_to_xml(class_name, rows)
-    raise XMLTransportError("unknown request <%s>" % root.tag)
+    with obs.span(
+        "xml.request", source=wrapper.name, bytes_in=len(request_xml)
+    ) as span:
+        root = parse_xml(request_xml)
+        span.set(tag=root.tag)
+        if root.tag == "source-query":
+            source_query = query_from_xml(root)
+            rows = wrapper.query(source_query)
+            answer = rows_to_xml(source_query.class_name, rows)
+        elif root.tag == "template-query":
+            class_name, template_name, arguments = template_query_from_xml(root)
+            rows = wrapper.run_template(class_name, template_name, **arguments)
+            answer = rows_to_xml(class_name, rows)
+        else:
+            raise XMLTransportError("unknown request <%s>" % root.tag)
+        if span.enabled:
+            span.set(bytes_out=len(answer))
+            obs.count("wire.bytes", len(request_xml) + len(answer), kind="request")
+        return answer

@@ -80,3 +80,41 @@ class TestFailureHandling:
             section5_query(), skip_failed_sources=True
         )
         assert context.errors == []
+        assert context.skipped_sources == []
+        assert not context.degraded
+        assert context.failures() == []
+
+    def test_skipped_sources_exposed_on_context(self, scenario_with_flaky):
+        mediator = scenario_with_flaky.mediator
+        _plan, context = mediator.correlate(
+            section5_query(), skip_failed_sources=True
+        )
+        assert context.skipped_sources == ["FLAKY"]
+        assert context.degraded
+        (failure,) = context.failures()
+        assert failure["source"] == "FLAKY"
+        source, exc = context.errors[0]
+        assert failure["error"] == type(exc).__name__
+        assert failure["message"] == str(exc)
+
+    def test_skip_is_traced_as_span_event(self, scenario_with_flaky):
+        from repro import obs
+
+        mediator = scenario_with_flaky.mediator
+        with obs.capture("flaky") as tracer:
+            mediator.correlate(section5_query(), skip_failed_sources=True)
+        events = [
+            event
+            for span in tracer.iter_spans()
+            for event in span.events
+            if event.name == "plan.source_skipped"
+        ]
+        assert [e.attrs["source"] for e in events] == ["FLAKY"]
+        assert events[0].attrs["error"] == "CapabilityError"
+        assert tracer.metrics.counter_total("planner.sources_skipped") == 1
+        # the skip lands inside the retrieve plan step
+        retrieve = next(
+            s for s in tracer.find_spans("plan.step")
+            if s.attrs["kind"] == "retrieve"
+        )
+        assert any(e.name == "plan.source_skipped" for e in retrieve.events)

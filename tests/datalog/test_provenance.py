@@ -104,6 +104,63 @@ class TestBasicExplanations:
         assert "[fact]" in text
 
 
+class TestDerivedAtAnnotation:
+    """explain() + EvaluationMetrics: stratum/round tags on proof nodes."""
+
+    PROGRAM = """
+        edge(a, b). edge(b, c). edge(c, d).
+        tc(X, Y) :- edge(X, Y).
+        tc(X, Y) :- edge(X, Z), tc(Z, Y).
+        unreached(X) :- edge(X, _), not tc(a, X).
+    """
+
+    def _traced_result(self):
+        from repro import obs
+
+        program = parse_program(self.PROGRAM)
+        with obs.capture("provenance"):
+            result = evaluate(program)
+        return program, result
+
+    def test_untraced_result_leaves_nodes_unannotated(self):
+        program = parse_program(self.PROGRAM)
+        result = evaluate(program)
+        assert result.metrics is None
+        derivation = explain(program, parse_atom("tc(a, d)"), result=result)
+        assert derivation.derived_at is None
+        assert "stratum" not in derivation.format()
+
+    def test_metrics_annotate_every_proof_node(self):
+        program, result = self._traced_result()
+        derivation = explain(program, parse_atom("tc(a, d)"), result=result)
+        assert derivation.derived_at is not None
+        stratum, round_index = derivation.derived_at
+        assert stratum == 0
+        # tc(a,d) needs three chained edges: derived after round 0
+        assert round_index >= 1
+        # base facts carry round 0
+        for leaf in derivation.leaves():
+            assert leaf.derived_at == (0, 0)
+
+    def test_later_stratum_is_tagged(self):
+        program, result = self._traced_result()
+        derivation = explain(program, parse_atom("unreached(a)"), result=result)
+        stratum, _round = derivation.derived_at
+        assert stratum == 1
+
+    def test_format_includes_stratum_and_round(self):
+        program, result = self._traced_result()
+        text = explain(program, parse_atom("tc(a, d)"), result=result).format()
+        assert "(stratum 0, round" in text
+
+    def test_explicit_metrics_argument(self):
+        program, result = self._traced_result()
+        derivation = explain(
+            program, parse_atom("tc(a, b)"), metrics=result.metrics
+        )
+        assert derivation.derived_at is not None
+
+
 class TestFLogicExplanations:
     def test_isa_explained_through_axioms(self):
         from repro.flogic import FLogicEngine

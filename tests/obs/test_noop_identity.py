@@ -1,0 +1,52 @@
+"""The no-op tracer leaves results byte-identical.
+
+Instrumentation must be observation only: running the shipped scenario
+with a tracer installed and with the default no-op must produce the
+same plan description, the same answers, the same ask() rows — and
+with the no-op, no per-evaluation metrics object may even be built.
+"""
+
+from repro import obs
+from repro.neuro import build_scenario, section5_query
+
+
+def _run_scenario():
+    mediator = build_scenario(include_anatom_source=True).mediator
+    plan, context = mediator.correlate(section5_query())
+    answers = [
+        (protein, round(distribution.total(), 9))
+        for protein, distribution in context.answers
+    ]
+    rows = sorted(
+        str(row["X"]) for row in mediator.ask("X : 'Compartment'")
+    )
+    return {
+        "plan": plan.describe(),
+        "answers": repr(answers),
+        "compartments": rows,
+        "wire_log": list(mediator.wire_log),
+    }
+
+
+def test_results_identical_with_and_without_tracer():
+    baseline = _run_scenario()
+    with obs.capture("identity-check"):
+        traced = _run_scenario()
+    assert obs.active() is obs.NOOP
+    untraced = _run_scenario()
+    assert baseline == traced == untraced
+
+
+def test_noop_run_builds_no_metrics():
+    mediator = build_scenario().mediator
+    result = mediator.engine().evaluate()
+    assert result.metrics is None
+
+
+def test_traced_run_attaches_metrics():
+    with obs.capture("metrics-check"):
+        mediator = build_scenario().mediator
+        result = mediator.engine().evaluate()
+    assert result.metrics is not None
+    assert result.metrics.rule_firings > 0
+    assert result.metrics.store_size == len(result.store)
