@@ -77,12 +77,63 @@ def _obs_counters():
     }
 
 
+def resilience_overhead(calls=200):
+    """Per-call cost of the medguard layer on the source-query path.
+
+    Three variants of the same repeated source query:
+
+    * ``raw`` — the normalized call below the guard check (the
+      pre-medguard hot path);
+    * ``no_policy`` — through :meth:`Mediator.source_query` with no
+      policy configured (adds one ``is None`` check: must be noise);
+    * ``with_policy`` — through a default :class:`ResiliencePolicy`
+      (breaker lookup + outcome record per call).
+    """
+    import time
+
+    from repro.neuro import build_scenario
+    from repro.resilience import ResiliencePolicy, SourceGuard
+    from repro.sources import SourceQuery
+
+    query = SourceQuery(
+        "protein_amount", {"location": "Purkinje Cell dendrite"}
+    )
+
+    def timed(fn):
+        fn()  # warm caches outside the timed window
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        return (time.perf_counter() - start) / calls
+
+    mediator = build_scenario(eager=False).mediator
+    wrapper = mediator.wrapper("NCMIR")
+    raw_s = timed(lambda: mediator._source_query(wrapper, query))
+    no_policy_s = timed(lambda: mediator.source_query("NCMIR", query))
+
+    guarded = build_scenario(eager=False).mediator
+    guarded.resilience = SourceGuard(ResiliencePolicy())
+    with_policy_s = timed(lambda: guarded.source_query("NCMIR", query))
+
+    return {
+        "calls": calls,
+        "raw_call_s": raw_s,
+        "no_policy_call_s": no_policy_s,
+        "with_policy_call_s": with_policy_s,
+        "no_policy_overhead_ratio": no_policy_s / raw_s if raw_s else None,
+        "with_policy_overhead_ratio": (
+            with_policy_s / raw_s if raw_s else None
+        ),
+    }
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write the machine-readable benchmark summary at the repo root."""
     try:
         summary = {
             "timings": _timing_rows(session.config),
             "metrics": _obs_counters(),
+            "resilience": resilience_overhead(),
         }
     except Exception as exc:  # never fail the session over the summary
         summary = {"error": "%s: %s" % (type(exc).__name__, exc)}

@@ -15,7 +15,15 @@ Three subcommands:
   shipped KIND scenario plus its Section 5 query) under an installed
   tracer and prints the span tree and metrics (``--json`` for the
   machine-readable document, ``--why FACT`` for a stratum/round-
-  annotated derivation tree of one mediated fact).
+  annotated derivation tree of one mediated fact);
+* ``chaos`` — medguard: deterministic fault-injection runs.  With no
+  target, the Section 5 scenario runs over the XML wire while a seeded
+  schedule injects a transient fault and kills the retrieval source
+  mid-plan; the run must yield a *degraded* answer satisfying the
+  degraded-answer contract, byte-identically across reruns of the same
+  seed.  With targets, each deployment script runs with every wrapper
+  misbehaving on a seeded recoverable schedule and must still
+  complete, all raising faults absorbed by the resilience layer.
 """
 
 from __future__ import annotations
@@ -155,6 +163,51 @@ def trace(args):
     return 0
 
 
+def chaos(args):
+    """medguard: seeded chaos runs checking the degraded-answer contract."""
+    from repro.resilience.chaos import (
+        ContractCheck,
+        run_chaos_scenario,
+        run_chaos_script,
+    )
+
+    reports = []
+    if args.targets:
+        for target in args.targets:
+            reports.append(
+                run_chaos_script(
+                    target,
+                    args.seed,
+                    rate=args.rate,
+                    keep_output=args.keep_output,
+                )
+            )
+    else:
+        report = run_chaos_scenario(args.seed)
+        # the contract demands byte-for-byte reproducibility: the same
+        # seed must produce the identical report
+        rerun = run_chaos_scenario(args.seed)
+        report.checks.append(
+            ContractCheck(
+                "reproducible",
+                report.format() == rerun.format(),
+                "re-running seed=%s reproduces the report byte-for-byte"
+                % args.seed,
+            )
+        )
+        reports.append(report)
+
+    if args.json:
+        payload = [report.as_dict() for report in reports]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for index, report in enumerate(reports):
+            if index:
+                print()
+            print(report.format())
+    return 0 if all(report.ok for report in reports) else 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -233,6 +286,43 @@ def build_parser():
         "\"'NCMIR.protein_amount.1' : 'Compartment'\"",
     )
     trace_parser.set_defaults(func=trace)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run deployments under seeded fault injection (medguard)",
+        description="Inject deterministic faults into wrapped sources "
+        "and check the degraded-answer contract.  With no target, the "
+        "shipped Section 5 scenario runs over the XML wire while a "
+        "seeded schedule kills the retrieval source mid-plan; with "
+        "targets, each deployment script runs with flaky wrappers and "
+        "a default resilience policy.  Exits non-zero on any contract "
+        "violation.  See docs/resilience.md.",
+    )
+    chaos_parser.add_argument(
+        "targets", nargs="*", help="deployment scripts (.py) to run under chaos"
+    )
+    chaos_parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="fault-schedule seed (default: 7); identical seeds "
+        "reproduce identical reports",
+    )
+    chaos_parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.2,
+        help="per-call fault probability in script mode (default: 0.2)",
+    )
+    chaos_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    chaos_parser.add_argument(
+        "--keep-output",
+        action="store_true",
+        help="do not silence the target scripts' own stdout",
+    )
+    chaos_parser.set_defaults(func=chaos)
     return parser
 
 

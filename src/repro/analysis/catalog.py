@@ -58,6 +58,8 @@ CATALOG = {
     "MBM041": (SEVERITY_ERROR, "invalid binding pattern declaration"),
     "MBM042": (SEVERITY_ERROR, "planning failure"),
     "MBM043": (SEVERITY_ERROR, "registration rejected"),
+    "MBM045": (SEVERITY_ERROR, "source call timed out"),
+    "MBM046": (SEVERITY_ERROR, "circuit breaker open (source shed)"),
     "MBM090": (SEVERITY_ERROR, "parse error"),
     "MBM091": (SEVERITY_ERROR, "evaluation error"),
 }

@@ -24,6 +24,8 @@ from ..errors import (
     SEVERITY_ERROR,
     MediatorError,
     RegistrationError,
+    ReproError,
+    SourceError,
     ViewError,
 )
 from ..datalog.safety import check_rule_safety
@@ -35,8 +37,11 @@ from ..domainmap.registry import register_concepts
 from ..flogic.engine import FLogicEngine
 from ..gcm.constraints import check as gcm_check
 from .aggregate import Distribution, aggregate_over_dm
+from ..resilience.guard import SourceGuard
+from ..resilience.policy import ResiliencePolicy
 from .planner import (
     CorrelationQuery,
+    CorrelationResult,
     execute as planner_execute,
     explain as planner_explain,
     plan as planner_plan,
@@ -70,6 +75,7 @@ class Mediator:
         edge_assertions=None,
         dialogue_via_xml=False,
         strict=False,
+        resilience=None,
     ):
         self.name = name
         self.dm = dm if dm is not None else DomainMap("%s_dm" % name)
@@ -80,6 +86,21 @@ class Mediator:
         #: is linted first and rejected (state untouched) if the
         #: analyzer reports error-severity diagnostics
         self.strict = strict
+        #: the medguard layer: a :class:`~repro.resilience.SourceGuard`
+        #: (accepted directly or built from a
+        #: :class:`~repro.resilience.ResiliencePolicy`), or None — in
+        #: which case every source call goes straight through
+        if resilience is None:
+            self.resilience = None
+        elif isinstance(resilience, SourceGuard):
+            self.resilience = resilience
+        elif isinstance(resilience, ResiliencePolicy):
+            self.resilience = SourceGuard(resilience)
+        else:
+            raise MediatorError(
+                "resilience must be a ResiliencePolicy or SourceGuard, "
+                "not %r" % type(resilience).__name__
+            )
         self._safety_checked = False
         self._sources: Dict[str, RegisteredSource] = {}
         self._views: Dict[str, object] = {}
@@ -191,12 +212,50 @@ class Mediator:
         With the XML dialogue on, the request and answer cross the wire
         format of :mod:`repro.xmlio.messages` (and are logged); rows
         come back re-joined with their raw form for lifting.
+
+        Any unexpected exception escaping the wrapper is normalized to
+        a :class:`~repro.errors.SourceError` here (the original kept as
+        ``__cause__``), so callers — ``skip_failed_sources``, the
+        resilience layer — see one failure vocabulary.  When a
+        :class:`~repro.resilience.ResiliencePolicy` is configured, the
+        call runs under the guard: retries, circuit breaking, timeouts
+        and stale serving all apply per attempt.
         """
         wrapper = self.wrapper(source_name)
-        if not self.dialogue_via_xml:
-            return wrapper.query(source_query)
+        guard = self.resilience
+        if guard is None:
+            return self._source_query(wrapper, source_query)
+        return guard.call(
+            source_name,
+            source_query.class_name,
+            lambda: self._source_query(wrapper, source_query),
+            cache_key=(
+                tuple(sorted(source_query.selections.items())),
+                tuple(source_query.projection)
+                if source_query.projection is not None
+                else None,
+            ),
+        )
+
+    def _source_query(self, wrapper, source_query):
+        """One source-call attempt, with the failure vocabulary
+        normalized at this boundary."""
+        try:
+            if not self.dialogue_via_xml:
+                return wrapper.query(source_query)
+            return self._source_query_xml(wrapper, source_query)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise SourceError(
+                "source %r raised %s: %s"
+                % (wrapper.name, type(exc).__name__, exc)
+            ) from exc
+
+    def _source_query_xml(self, wrapper, source_query):
         from ..xmlio.messages import handle_request, query_to_xml, rows_from_xml
 
+        source_name = wrapper.name
         with obs.span(
             "xml.wire",
             kind="query",
@@ -214,9 +273,11 @@ class Mediator:
         )
         _class_name, rows = rows_from_xml(answer)
         # the wire drops _raw; reconstruct it for lift_rows by keying
-        # the direct rows on object id (in-process shortcut)
+        # the direct rows on object id (an in-process shortcut, so it
+        # bypasses any fault-injecting decorator: `unwrapped`)
         direct = {
-            row["_object"]: row for row in wrapper.query(source_query)
+            row["_object"]: row
+            for row in wrapper.unwrapped.query(source_query)
         }
         return [direct[row["_object"]] for row in rows]
 
@@ -480,12 +541,16 @@ class Mediator:
         return planner_plan(self, query)
 
     def correlate(self, query, skip_failed_sources=False):
-        """Plan and execute a correlation query; returns (plan, context).
+        """Plan and execute a correlation query; returns a
+        :class:`~repro.core.planner.CorrelationResult` — a ``(plan,
+        context)`` pair that also surfaces degradation directly
+        (``result.degraded``, ``result.degraded_answer()``).
 
         ``context.answers`` holds (group value, Distribution) pairs —
-        the paper's ``answer(P, D)``.  With `skip_failed_sources`, a
-        failing source is recorded in ``context.errors`` rather than
-        aborting the plan.
+        the paper's ``answer(P, D)``.  With `skip_failed_sources` (or a
+        :class:`~repro.resilience.ResiliencePolicy` whose ``degrade``
+        is on), a failing source is recorded rather than aborting the
+        plan, and the result reports the partial answer per source.
         """
         with obs.span("mediator.correlate", seed_class=query.seed_class) as span:
             query_plan, context = planner_execute(
@@ -495,7 +560,7 @@ class Mediator:
                 answers=len(context.answers),
                 skipped=len(context.errors),
             )
-            return query_plan, context
+            return CorrelationResult(query_plan, context)
 
     def __repr__(self):
         return "Mediator(%r, sources=%r, views=%r)" % (

@@ -23,6 +23,7 @@ covers raises :class:`~repro.errors.PlanningError` at *planning* time.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .. import obs
@@ -188,7 +189,7 @@ class RetrieveAnchoredStep(PlanStep):
             try:
                 collected.extend(self._retrieve_from(mediator, source))
             except (SourceError, XMLTransportError) as exc:
-                if not context.skip_failed_sources:
+                if not context.degrades_on_failure:
                     raise
                 context.record_skipped(source, exc)
         context.retrieved = collected
@@ -300,7 +301,7 @@ class PlanContext:
     callers can tell a complete answer from a partial one.
     """
 
-    def __init__(self, mediator, skip_failed_sources=False):
+    def __init__(self, mediator, skip_failed_sources=False, outcome_mark=None):
         self.mediator = mediator
         self.rows: Dict = {}
         self.bindings: Dict = {}
@@ -310,6 +311,23 @@ class PlanContext:
         self.answers: List = []
         self.skip_failed_sources = skip_failed_sources
         self.errors: List = []
+        guard = mediator.resilience
+        #: slice of the guard's outcome log belonging to this plan
+        self._outcome_mark = (
+            outcome_mark
+            if outcome_mark is not None
+            else (guard.mark() if guard is not None else 0)
+        )
+
+    @property
+    def degrades_on_failure(self):
+        """Does a retrieval failure degrade the answer instead of
+        aborting?  True under ``skip_failed_sources`` or a resilience
+        policy with ``degrade`` on."""
+        if self.skip_failed_sources:
+            return True
+        guard = self.mediator.resilience
+        return guard is not None and guard.policy.degrade
 
     def record_skipped(self, source, exc):
         """Record one source skipped under `skip_failed_sources`."""
@@ -329,9 +347,18 @@ class PlanContext:
 
     @property
     def degraded(self):
-        """True when at least one selected source failed to answer —
-        `answers` may be missing that source's contribution."""
-        return bool(self.errors)
+        """True when at least one selected source failed to answer (or
+        was served stale / shed by its breaker) — `answers` may be
+        missing or substituting that source's contribution."""
+        if self.errors:
+            return True
+        guard = self.mediator.resilience
+        if guard is None:
+            return False
+        return any(
+            outcome.stale or outcome.status == "breaker-open"
+            for outcome in guard.outcomes_since(self._outcome_mark)
+        )
 
     def failures(self):
         """JSON-ready skip records: source, error class, message."""
@@ -343,6 +370,22 @@ class PlanContext:
             }
             for source, exc in self.errors
         ]
+
+    def degraded_answer(self):
+        """The structured :class:`~repro.resilience.DegradedAnswer`
+        report of this plan execution: per source, what happened
+        (skipped / retried / served-stale / breaker-open), attempt
+        counts, and breaker state.  Works with or without a
+        resilience policy."""
+        from ..resilience.report import build_degraded_answer
+
+        guard = self.mediator.resilience
+        outcomes = (
+            guard.outcomes_since(self._outcome_mark)
+            if guard is not None
+            else ()
+        )
+        return build_degraded_answer(outcomes, self.errors, guard=guard)
 
 
 class QueryPlan:
@@ -361,19 +404,26 @@ class QueryPlan:
             for i, step in enumerate(self.steps)
         )
 
-    def execute(self, mediator, skip_failed_sources=False):
-        context = PlanContext(mediator, skip_failed_sources=skip_failed_sources)
-        for index, step in enumerate(self.steps):
-            with obs.span(
-                "plan.step",
-                index=index + 1,
-                kind=step.kind,
-                describe=step.describe(),
-            ) as span:
-                output = step.run(context)
-                if span.enabled:
-                    span.set(cardinality=_cardinality(output))
-                    obs.count("planner.steps", kind=step.kind)
+    def execute(self, mediator, skip_failed_sources=False, outcome_mark=None):
+        context = PlanContext(
+            mediator,
+            skip_failed_sources=skip_failed_sources,
+            outcome_mark=outcome_mark,
+        )
+        guard = mediator.resilience
+        scope = guard.plan_scope() if guard is not None else nullcontext()
+        with scope:
+            for index, step in enumerate(self.steps):
+                with obs.span(
+                    "plan.step",
+                    index=index + 1,
+                    kind=step.kind,
+                    describe=step.describe(),
+                ) as span:
+                    output = step.run(context)
+                    if span.enabled:
+                        span.set(cardinality=_cardinality(output))
+                        obs.count("planner.steps", kind=step.kind)
         return context
 
 
@@ -461,15 +511,76 @@ def _plan(mediator, query):
 def execute(mediator, query, skip_failed_sources=False):
     """Plan and execute; returns (plan, context).
 
-    With `skip_failed_sources`, a source failing during retrieval is
-    recorded in ``context.errors`` and the plan continues with the
-    remaining sources.
+    With `skip_failed_sources` (or a resilience policy that degrades),
+    a source failing during retrieval is recorded in
+    ``context.errors`` and the plan continues with the remaining
+    sources.  The whole run — the planning probe included — shares one
+    resilience deadline budget and outcome-log slice.
     """
-    query_plan = plan(mediator, query)
-    context = query_plan.execute(
-        mediator, skip_failed_sources=skip_failed_sources
-    )
+    guard = mediator.resilience
+    mark = guard.mark() if guard is not None else None
+    scope = guard.plan_scope() if guard is not None else nullcontext()
+    with scope:
+        query_plan = plan(mediator, query)
+        context = query_plan.execute(
+            mediator,
+            skip_failed_sources=skip_failed_sources,
+            outcome_mark=mark,
+        )
     return query_plan, context
+
+
+class CorrelationResult(tuple):
+    """The result of :meth:`Mediator.correlate`: an unpackable
+    ``(plan, context)`` pair that *also* surfaces degradation directly,
+    so callers can detect a partial answer without re-running the
+    query through ``explain()``::
+
+        result = mediator.correlate(query, skip_failed_sources=True)
+        plan, context = result            # tuple compatibility
+        if result.degraded:
+            print(result.degraded_answer().format())
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, query_plan, context):
+        return super().__new__(cls, (query_plan, context))
+
+    @property
+    def plan(self):
+        return self[0]
+
+    @property
+    def context(self):
+        return self[1]
+
+    @property
+    def answers(self):
+        """(group value, Distribution) pairs — the paper's answer(P, D)."""
+        return self[1].answers
+
+    @property
+    def degraded(self):
+        """True when the answer may be missing a source's contribution."""
+        return self[1].degraded
+
+    @property
+    def skipped_sources(self):
+        return self[1].skipped_sources
+
+    def failures(self):
+        return self[1].failures()
+
+    def degraded_answer(self):
+        """The per-source :class:`~repro.resilience.DegradedAnswer`."""
+        return self[1].degraded_answer()
+
+    def __repr__(self):
+        return "CorrelationResult(answers=%d, degraded=%r)" % (
+            len(self.answers),
+            self.degraded,
+        )
 
 
 class QueryExplain:
@@ -515,6 +626,7 @@ class QueryExplain:
                 "degraded answer: skipped sources %s"
                 % self.context.skipped_sources
             )
+            lines.extend(self.degraded_answer().format().splitlines())
         from ..obs.render import render_metrics
 
         lines.extend(render_metrics(self.metrics))
@@ -532,8 +644,14 @@ class QueryExplain:
             "degraded": self.context.degraded,
             "skipped_sources": self.context.skipped_sources,
             "failures": self.context.failures(),
+            "degraded_answer": self.degraded_answer().as_dict(),
             "metrics": self.metrics.as_dict(),
         }
+
+    def degraded_answer(self):
+        """The per-source :class:`~repro.resilience.DegradedAnswer`
+        for this run (the degraded-answer contract)."""
+        return self.context.degraded_answer()
 
     def __repr__(self):
         return "QueryExplain(steps=%d, degraded=%r)" % (
@@ -549,11 +667,17 @@ def explain(mediator, query, skip_failed_sources=False):
     Like SQL ``EXPLAIN ANALYZE``, this runs the query: cardinalities
     and timings are measured, not estimated.
     """
+    guard = mediator.resilience
+    mark = guard.mark() if guard is not None else None
+    scope = guard.plan_scope() if guard is not None else nullcontext()
     with obs.capture("explain") as tracer:
-        query_plan = plan(mediator, query)
-        context = query_plan.execute(
-            mediator, skip_failed_sources=skip_failed_sources
-        )
+        with scope:
+            query_plan = plan(mediator, query)
+            context = query_plan.execute(
+                mediator,
+                skip_failed_sources=skip_failed_sources,
+                outcome_mark=mark,
+            )
     steps = []
     for span in tracer.find_spans("plan.step"):
         steps.append(

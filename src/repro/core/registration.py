@@ -138,36 +138,42 @@ def parse_registration(text):
 
     capabilities: Dict[str, ClassCapability] = {}
     caps_el = root.find("capabilities")
-    if caps_el is not None:
-        for class_el in caps_el.findall("class"):
-            class_name = class_el.get("name")
-            attributes = [
-                a for a in (class_el.get("attributes") or "").split(",") if a
-            ]
-            capability = ClassCapability(
-                class_name,
-                attributes,
-                key=class_el.get("key"),
-                scannable=class_el.get("scannable") != "false",
+    if caps_el is None:
+        # every wrapper "transmits a description of its query
+        # capabilities" (Section 2); a message without the section is
+        # truncated or corrupted, not a capability-free source
+        raise XMLTransportError(
+            "registration from %r has no <capabilities> section" % source
+        )
+    for class_el in caps_el.findall("class"):
+        class_name = class_el.get("name")
+        attributes = [
+            a for a in (class_el.get("attributes") or "").split(",") if a
+        ]
+        capability = ClassCapability(
+            class_name,
+            attributes,
+            key=class_el.get("key"),
+            scannable=class_el.get("scannable") != "false",
+        )
+        for pattern_el in class_el.findall("pattern"):
+            capability.binding_patterns.append(
+                BindingPattern(attributes, pattern_el.text or "")
             )
-            for pattern_el in class_el.findall("pattern"):
-                capability.binding_patterns.append(
-                    BindingPattern(attributes, pattern_el.text or "")
+        for template_el in class_el.findall("template"):
+            params = [
+                p
+                for p in (template_el.get("params") or "").split(",")
+                if p
+            ]
+            capability.add_template(
+                QueryTemplate(
+                    template_el.get("name"),
+                    params,
+                    template_el.get("description", ""),
                 )
-            for template_el in class_el.findall("template"):
-                params = [
-                    p
-                    for p in (template_el.get("params") or "").split(",")
-                    if p
-                ]
-                capability.add_template(
-                    QueryTemplate(
-                        template_el.get("name"),
-                        params,
-                        template_el.get("description", ""),
-                    )
-                )
-            capabilities[class_name] = capability
+            )
+        capabilities[class_name] = capability
 
     anchors: List[Tuple[str, str, Optional[str]]] = []
     anchors_el = root.find("anchors")

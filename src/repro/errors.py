@@ -333,6 +333,26 @@ class RelStoreError(SourceError):
     arity mismatch, duplicate key, ...)."""
 
 
+class SourceTimeoutError(SourceError):
+    """A source call exceeded the configured per-call timeout (the
+    resilience layer treats the attempt as failed and retries)."""
+
+    code = "MBM045"
+
+
+class BreakerOpenError(SourceError):
+    """The circuit breaker for a ``(source, class)`` pair is open: the
+    call was rejected without contacting the source.  Carries the
+    breaker key so degraded-answer reports can name it."""
+
+    code = "MBM046"
+
+    def __init__(self, *args, source=None, class_name=None, code=None, span=None):
+        super().__init__(*args, code=code, span=span)
+        self.source = source
+        self.class_name = class_name
+
+
 # ---------------------------------------------------------------------------
 # Mediator
 # ---------------------------------------------------------------------------

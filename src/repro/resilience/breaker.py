@@ -1,0 +1,124 @@
+"""The medguard circuit breaker: closed / open / half-open per key.
+
+One :class:`CircuitBreaker` guards one ``(source, class)`` pair (a
+source may export several classes with very different health).  The
+state machine is the classic one:
+
+* **closed** — calls flow; `threshold` *consecutive* failures open it;
+* **open** — calls are rejected without contacting the source until
+  `cooldown` seconds (by the policy's clock) have passed;
+* **half-open** — after the cooldown one probe call is let through:
+  success closes the breaker, failure re-opens it (and restarts the
+  cooldown).
+
+All time comes from the caller (``now`` arguments), so the breaker is
+fully deterministic under the fault harness's virtual clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker for one ``(source, class)`` pair."""
+
+    __slots__ = ("threshold", "cooldown", "failures", "_state", "opened_at")
+
+    def __init__(self, threshold, cooldown):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.failures = 0
+        self._state = CLOSED
+        self.opened_at: Optional[float] = None
+
+    def state(self, now=None):
+        """Current state; an open breaker past its cooldown reports
+        half-open (the next call is the probe)."""
+        if (
+            self._state == OPEN
+            and now is not None
+            and self.opened_at is not None
+            and now - self.opened_at >= self.cooldown
+        ):
+            return HALF_OPEN
+        return self._state
+
+    def allow(self, now):
+        """May a call proceed now?  Transitions open -> half-open when
+        the cooldown has elapsed."""
+        if self._state == CLOSED:
+            return True
+        if self._state == OPEN:
+            if now - self.opened_at >= self.cooldown:
+                self._state = HALF_OPEN
+                return True
+            return False
+        # half-open: the probe call is in flight; its outcome decides
+        return True
+
+    def record_success(self):
+        self.failures = 0
+        self._state = CLOSED
+        self.opened_at = None
+
+    def record_failure(self, now):
+        """Count one failure; returns True when this failure opened
+        (or re-opened) the breaker."""
+        self.failures += 1
+        if self._state == HALF_OPEN or (
+            self.threshold is not None and self.failures >= self.threshold
+        ):
+            self._state = OPEN
+            self.opened_at = now
+            return True
+        return False
+
+    def __repr__(self):
+        return "CircuitBreaker(%s, failures=%d)" % (self._state, self.failures)
+
+
+class BreakerRegistry:
+    """The breakers of one guard, keyed by ``(source, class)``."""
+
+    __slots__ = ("threshold", "cooldown", "_breakers")
+
+    def __init__(self, threshold, cooldown):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+
+    def get(self, source, class_name):
+        key = (source, class_name)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(self.threshold, self.cooldown)
+            self._breakers[key] = breaker
+        return breaker
+
+    def states(self, now=None):
+        """Deterministic ``(source, class) -> state`` snapshot."""
+        return {
+            key: self._breakers[key].state(now)
+            for key in sorted(self._breakers)
+        }
+
+    def state_for_source(self, source, now=None):
+        """The worst state among a source's breakers (open > half-open
+        > closed); `closed` when the source has none."""
+        order = {OPEN: 0, HALF_OPEN: 1, CLOSED: 2}
+        states = [
+            breaker.state(now)
+            for (name, _cls), breaker in self._breakers.items()
+            if name == source
+        ]
+        if not states:
+            return CLOSED
+        return min(states, key=order.__getitem__)
+
+    def __repr__(self):
+        return "BreakerRegistry(%d breakers)" % len(self._breakers)

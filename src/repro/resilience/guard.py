@@ -1,0 +1,307 @@
+"""The medguard source guard: retries, breakers, staleness, deadlines.
+
+A :class:`SourceGuard` executes source calls on behalf of the mediator
+under one :class:`~repro.resilience.policy.ResiliencePolicy`:
+
+* failed attempts are retried with deterministic exponential backoff
+  (seeded jitter optional);
+* a per-``(source, class)`` circuit breaker sheds calls to sources
+  that keep failing, and lets a half-open probe through after the
+  cooldown;
+* with ``serve_stale``, the last known good rows of an identical call
+  are served — marked as stale — when the source stays down;
+* a per-call timeout and a whole-plan deadline budget bound how long a
+  plan waits for misbehaving sources.
+
+Every call appends a :class:`CallOutcome` to the guard's log;
+:meth:`SourceGuard.mark` / :meth:`outcomes_since` let a plan slice out
+exactly its own calls for the degraded-answer report.  Retry, breaker,
+and staleness activity also flows to medtrace (``resilience.*``
+counters and events) when a tracer is installed.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Callable, List, Optional
+
+from .. import obs
+from ..errors import (
+    BreakerOpenError,
+    SourceError,
+    SourceTimeoutError,
+    XMLTransportError,
+)
+from .breaker import BreakerRegistry
+from .policy import ResiliencePolicy
+
+#: outcome statuses, from healthiest to most degraded
+STATUS_OK = "ok"
+STATUS_RETRIED = "retried"
+STATUS_STALE = "served-stale"
+STATUS_FAILED = "failed"
+STATUS_BREAKER_OPEN = "breaker-open"
+
+
+class CallOutcome:
+    """The resilience record of one guarded source call."""
+
+    __slots__ = (
+        "source",
+        "class_name",
+        "status",
+        "attempts",
+        "retries",
+        "stale",
+        "breaker_state",
+        "error",
+    )
+
+    def __init__(
+        self,
+        source,
+        class_name,
+        status,
+        attempts,
+        breaker_state,
+        error=None,
+    ):
+        self.source = source
+        self.class_name = class_name
+        self.status = status
+        self.attempts = attempts
+        self.retries = max(0, attempts - 1)
+        self.stale = status == STATUS_STALE
+        self.breaker_state = breaker_state
+        #: "<ErrorClass>: <message>" of the last failure (None on ok)
+        self.error = error
+
+    def as_dict(self):
+        return {
+            "source": self.source,
+            "class": self.class_name,
+            "status": self.status,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "stale": self.stale,
+            "breaker_state": self.breaker_state,
+            "error": self.error,
+        }
+
+    def __repr__(self):
+        return "CallOutcome(%s.%s %s attempts=%d)" % (
+            self.source,
+            self.class_name,
+            self.status,
+            self.attempts,
+        )
+
+
+def _error_text(exc):
+    return "%s: %s" % (type(exc).__name__, exc)
+
+
+class SourceGuard:
+    """Executes source calls under a :class:`ResiliencePolicy`."""
+
+    def __init__(self, policy=None):
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.breakers = BreakerRegistry(
+            self.policy.breaker_threshold, self.policy.breaker_cooldown
+        )
+        self.outcomes: List[CallOutcome] = []
+        self._rng = random.Random(self.policy.seed)
+        self._cache = {}
+        self._scope_depth = 0
+        self._deadline_at: Optional[float] = None
+
+    # -- plan deadline scope ----------------------------------------------
+
+    @contextmanager
+    def plan_scope(self):
+        """Arms the plan deadline budget for the dynamic extent of one
+        query plan (re-entrant: nested scopes share the outer budget)."""
+        self._scope_depth += 1
+        if self._scope_depth == 1 and self.policy.plan_deadline is not None:
+            self._deadline_at = self.policy.clock() + self.policy.plan_deadline
+        try:
+            yield self
+        finally:
+            self._scope_depth -= 1
+            if self._scope_depth == 0:
+                self._deadline_at = None
+
+    def deadline_remaining(self):
+        """Seconds left in the plan budget (None = unbounded)."""
+        if self._deadline_at is None:
+            return None
+        return self._deadline_at - self.policy.clock()
+
+    # -- outcome log -------------------------------------------------------
+
+    def mark(self):
+        """A position in the outcome log (pair with outcomes_since)."""
+        return len(self.outcomes)
+
+    def outcomes_since(self, mark):
+        return self.outcomes[mark:]
+
+    def _record(self, outcome):
+        self.outcomes.append(outcome)
+        return outcome
+
+    # -- the guarded call --------------------------------------------------
+
+    def call(self, source, class_name, fn, cache_key=None):
+        """Run ``fn()`` (one source call) under the policy.
+
+        Returns `fn`'s result — possibly a cached stale one.  Raises
+        the last failure (normalized by the caller's boundary) when
+        retries are exhausted and no stale answer may be served, or a
+        :class:`~repro.errors.BreakerOpenError` when the breaker
+        rejects the call outright.
+        """
+        policy = self.policy
+        breaker = self.breakers.get(source, class_name)
+        now = policy.clock()
+        if not breaker.allow(now):
+            obs.count("resilience.breaker_open", source=source)
+            obs.event(
+                "resilience.breaker_open", source=source, class_name=class_name
+            )
+            stale = self._stale_lookup(source, class_name, cache_key, "open")
+            if stale is not None:
+                return stale
+            self._record(
+                CallOutcome(
+                    source,
+                    class_name,
+                    STATUS_BREAKER_OPEN,
+                    0,
+                    "open",
+                    error="breaker open",
+                )
+            )
+            raise BreakerOpenError(
+                "circuit breaker open for %s.%s" % (source, class_name),
+                source=source,
+                class_name=class_name,
+            )
+
+        attempts = 0
+        last_exc = None
+        while attempts <= policy.max_retries:
+            attempts += 1
+            started = policy.clock()
+            try:
+                result = fn()
+            except (SourceError, XMLTransportError) as exc:
+                last_exc = exc
+            else:
+                elapsed = policy.clock() - started
+                if (
+                    policy.call_timeout is not None
+                    and elapsed > policy.call_timeout
+                ):
+                    last_exc = SourceTimeoutError(
+                        "call to %s.%s took %.3fs (timeout %.3fs)"
+                        % (source, class_name, elapsed, policy.call_timeout)
+                    )
+                    obs.count("resilience.timeout", source=source)
+                else:
+                    breaker.record_success()
+                    if policy.serve_stale and cache_key is not None:
+                        self._cache[(source, class_name, cache_key)] = result
+                    self._record(
+                        CallOutcome(
+                            source,
+                            class_name,
+                            STATUS_OK if attempts == 1 else STATUS_RETRIED,
+                            attempts,
+                            breaker.state(policy.clock()),
+                        )
+                    )
+                    return result
+            opened = breaker.record_failure(policy.clock())
+            if opened:
+                obs.count("resilience.breaker_opened", source=source)
+                obs.event(
+                    "resilience.breaker_opened",
+                    source=source,
+                    class_name=class_name,
+                    failures=breaker.failures,
+                )
+            if attempts > policy.max_retries or not self._may_retry():
+                break
+            delay = policy.backoff_delay(attempts, self._rng)
+            remaining = self.deadline_remaining()
+            if remaining is not None:
+                delay = min(delay, max(0.0, remaining))
+            obs.count("resilience.retry", source=source)
+            obs.event(
+                "resilience.retry",
+                source=source,
+                class_name=class_name,
+                attempt=attempts,
+                error=type(last_exc).__name__,
+            )
+            if delay > 0:
+                policy.sleep(delay)
+
+        stale = self._stale_lookup(
+            source,
+            class_name,
+            cache_key,
+            breaker.state(policy.clock()),
+            attempts=attempts,
+            error=_error_text(last_exc),
+        )
+        if stale is not None:
+            return stale
+        self._record(
+            CallOutcome(
+                source,
+                class_name,
+                STATUS_FAILED,
+                attempts,
+                breaker.state(policy.clock()),
+                error=_error_text(last_exc),
+            )
+        )
+        raise last_exc
+
+    def _may_retry(self):
+        remaining = self.deadline_remaining()
+        if remaining is not None and remaining <= 0:
+            obs.count("resilience.deadline_exhausted")
+            return False
+        return True
+
+    def _stale_lookup(
+        self, source, class_name, cache_key, breaker_state, attempts=0,
+        error=None,
+    ):
+        if not self.policy.serve_stale or cache_key is None:
+            return None
+        cached = self._cache.get((source, class_name, cache_key))
+        if cached is None:
+            return None
+        obs.count("resilience.stale_served", source=source)
+        obs.event(
+            "resilience.stale_served", source=source, class_name=class_name
+        )
+        self._record(
+            CallOutcome(
+                source,
+                class_name,
+                STATUS_STALE,
+                attempts,
+                breaker_state,
+                error=error,
+            )
+        )
+        return cached
+
+    def __repr__(self):
+        return "SourceGuard(%r, outcomes=%d)" % (self.policy, len(self.outcomes))

@@ -152,6 +152,12 @@ class Wrapper:
         self._template_bodies: Dict[Tuple[str, str], Callable] = {}
         self._capabilities: Dict[str, ClassCapability] = {}
 
+    @property
+    def unwrapped(self):
+        """The wrapper itself; decorators (fault injectors) override
+        this to expose the real wrapper underneath."""
+        return self
+
     # -- declaration -------------------------------------------------------
 
     def export_class(

@@ -87,9 +87,15 @@ def decode_value(text, type_tag):
     if type_tag in (None, "", "str"):
         return text
     if type_tag == "int":
-        return int(text)
+        try:
+            return int(text)
+        except ValueError as exc:
+            raise XMLTransportError("bad int value %r" % text) from exc
     if type_tag == "float":
-        return float(text)
+        try:
+            return float(text)
+        except ValueError as exc:
+            raise XMLTransportError("bad float value %r" % text) from exc
     if type_tag == "bool":
         return text == "true"
     raise XMLTransportError("unknown value type tag %r" % type_tag)

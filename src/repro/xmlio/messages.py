@@ -128,17 +128,30 @@ def rows_from_xml(text):
     if root.tag != "answer":
         raise XMLTransportError("expected <answer>, found <%s>" % root.tag)
     class_name = root.get("class")
+    if not class_name:
+        raise XMLTransportError("<answer> requires a class attribute")
     rows: List[Dict] = []
     for row_el in root.findall("row"):
         row: Dict = {"_object": row_el.get("object")}
         for col in row_el.findall("col"):
-            row[col.get("name")] = element_value(col)
+            name = col.get("name")
+            if not name:
+                raise XMLTransportError("<col> requires a name attribute")
+            row[name] = element_value(col)
         rows.append(row)
     declared = root.get("count")
-    if declared is not None and int(declared) != len(rows):
-        raise XMLTransportError(
-            "answer declares %s rows but carries %d" % (declared, len(rows))
-        )
+    if declared is not None:
+        try:
+            declared_count = int(declared)
+        except ValueError as exc:
+            raise XMLTransportError(
+                "answer declares a non-numeric count %r" % declared
+            ) from exc
+        if declared_count != len(rows):
+            raise XMLTransportError(
+                "answer declares %s rows but carries %d"
+                % (declared, len(rows))
+            )
     return class_name, rows
 
 
@@ -165,6 +178,11 @@ def handle_request(wrapper, request_xml):
             answer = rows_to_xml(class_name, rows)
         else:
             raise XMLTransportError("unknown request <%s>" % root.tag)
+        # fault-injection hook: a decorating wrapper may corrupt the
+        # serialized answer to exercise the codec's hardening
+        mangle = getattr(wrapper, "mangle_answer", None)
+        if mangle is not None:
+            answer = mangle(answer)
         if span.enabled:
             span.set(bytes_out=len(answer))
             obs.count("wire.bytes", len(request_xml) + len(answer), kind="request")

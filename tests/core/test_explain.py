@@ -88,6 +88,44 @@ class TestQueryExplain:
         assert "degraded answer: skipped sources ['FLAKY']" in text
         assert "! FLAKY:" in text
 
+    def test_degraded_explain_carries_the_degraded_answer(self):
+        scenario = build_scenario(eager=False)
+        scenario.mediator.register(flaky_protein_source(), eager=False)
+        explained = scenario.mediator.explain(
+            section5_query(), skip_failed_sources=True
+        )
+        report = explained.degraded_answer().report_for("FLAKY")
+        assert report is not None
+        assert report.status == "skipped"
+        text = explained.format(mask_timings=True)
+        assert "answer DEGRADED" in text
+        assert "FLAKY" in text
+        document = explained.as_dict(mask_timings=True)
+        json.dumps(document)
+        assert document["degraded_answer"]["degraded"] is True
+        sources = {
+            entry["source"]: entry
+            for entry in document["degraded_answer"]["sources"]
+        }
+        assert sources["FLAKY"]["status"] == "skipped"
+
+    def test_healthy_explain_degraded_answer_is_complete(self, explained):
+        assert explained.degraded_answer().complete
+        document = explained.as_dict(mask_timings=True)
+        assert document["degraded_answer"]["degraded"] is False
+
+    def test_explain_under_resilience_counts_guarded_calls(self):
+        from repro.resilience import ResiliencePolicy, SourceGuard
+
+        mediator = build_scenario(eager=False).mediator
+        mediator.resilience = SourceGuard(ResiliencePolicy())
+        explained = mediator.explain(section5_query())
+        reports = explained.degraded_answer().sources
+        assert {r.source for r in reports} == {"NCMIR", "SENSELAB"}
+        assert all(r.status == "ok" for r in reports)
+        # healthy guarded runs keep the EXPLAIN text clean
+        assert "degraded" not in explained.format(mask_timings=True)
+
     def test_flogic_query_still_returns_derivation(self):
         mediator = build_scenario().mediator
         obj = sorted(

@@ -97,6 +97,57 @@ class TestFailureHandling:
         assert failure["error"] == type(exc).__name__
         assert failure["message"] == str(exc)
 
+    def test_unexpected_wrapper_exceptions_normalize_to_source_error(self):
+        # a buggy wrapper raising KeyError must surface as SourceError
+        # at the mediator boundary, with the original as __cause__
+        class BuggyWrapper(Wrapper):
+            def query(self, source_query):
+                raise KeyError("oops, wrong column")
+
+        store = RelStore("BUGGY")
+        store.create_table(
+            "t", [Column("id", "int"), Column("v", "str")], key="id"
+        ).insert({"id": 1, "v": "x"})
+        wrapper = BuggyWrapper("BUGGY", store)
+        Wrapper.export_class(
+            wrapper, "thing", "t", "id", methods={"v": "v"}
+        )
+        mediator = build_scenario(eager=False).mediator
+        mediator.register(wrapper, eager=False)
+        from repro.sources.wrapper import SourceQuery
+
+        with pytest.raises(SourceError) as excinfo:
+            mediator.source_query("BUGGY", SourceQuery("thing", {}, None))
+        assert "BUGGY" in str(excinfo.value)
+        assert "KeyError" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, KeyError)
+
+    def test_correlate_result_surfaces_degradation(self, scenario_with_flaky):
+        result = scenario_with_flaky.mediator.correlate(
+            section5_query(), skip_failed_sources=True
+        )
+        # tuple compatibility is preserved ...
+        plan, context = result
+        assert plan is result.plan
+        assert context is result.context
+        # ... and degradation is visible on the result itself
+        assert result.degraded
+        assert result.skipped_sources == ["FLAKY"]
+        assert result.failures()[0]["source"] == "FLAKY"
+        report = result.degraded_answer().report_for("FLAKY")
+        assert report is not None
+        assert report.status == "skipped"
+        assert result.answers == context.answers
+
+    def test_healthy_correlate_result_is_not_degraded(self):
+        result = build_scenario(eager=False).mediator.correlate(
+            section5_query()
+        )
+        assert not result.degraded
+        assert result.skipped_sources == []
+        assert not result.degraded_answer()
+        assert result.degraded_answer().complete
+
     def test_skip_is_traced_as_span_event(self, scenario_with_flaky):
         from repro import obs
 
@@ -118,3 +169,95 @@ class TestFailureHandling:
             if s.attrs["kind"] == "retrieve"
         )
         assert any(e.name == "plan.source_skipped" for e in retrieve.events)
+
+
+class TestMediatorResilience:
+    def make_policy(self, **kwargs):
+        from repro.resilience import ResiliencePolicy, VirtualClock
+
+        clock = VirtualClock()
+        kwargs.setdefault("backoff_base", 0.01)
+        return ResiliencePolicy(clock=clock.now, sleep=clock.sleep, **kwargs)
+
+    def test_policy_degrades_instead_of_raising(self):
+        # with a degrading policy, no skip_failed_sources flag is
+        # needed: a source dying mid-plan is retried, then skipped
+        from repro.resilience import (
+            FaultInjectingWrapper,
+            FaultSchedule,
+            SourceGuard,
+        )
+
+        mediator = build_scenario(eager=False).mediator
+        mediator.resilience = SourceGuard(self.make_policy(max_retries=1))
+        record = mediator._sources["NCMIR"]
+        record.wrapper = FaultInjectingWrapper(
+            record.wrapper, FaultSchedule().kill("NCMIR", after=1)
+        )
+        result = mediator.correlate(section5_query())  # does not raise
+        assert result.degraded
+        report = result.degraded_answer().report_for("NCMIR")
+        assert report.status == "skipped"
+        assert report.attempts >= 2  # the retry happened
+        assert "NCMIR" in result.skipped_sources
+
+    def test_transient_failure_is_invisible_in_the_answer(self):
+        # one injected outage, absorbed by a retry: same answers as a
+        # healthy run, degraded stays False, but the report shows it
+        from repro.resilience import (
+            Fault,
+            FaultInjectingWrapper,
+            FaultSchedule,
+            SourceGuard,
+        )
+
+        healthy = build_scenario(eager=False).mediator.correlate(
+            section5_query()
+        )
+        mediator = build_scenario(eager=False).mediator
+        mediator.resilience = SourceGuard(self.make_policy(max_retries=1))
+        record = mediator._sources["NCMIR"]
+        record.wrapper = FaultInjectingWrapper(
+            record.wrapper, FaultSchedule().add("NCMIR", 1, Fault("error"))
+        )
+        result = mediator.correlate(section5_query())
+        assert not result.degraded
+        assert [(g, d.total()) for g, d in result.answers] == [
+            (g, d.total()) for g, d in healthy.answers
+        ]
+        report = result.degraded_answer().report_for("NCMIR")
+        assert report.status == "retried"
+        assert report.retries == 1
+
+    def test_mediator_accepts_policy_at_construction(self):
+        from repro.core.mediator import Mediator
+        from repro.neuro.anatom import build_anatom
+
+        policy = self.make_policy()
+        mediator = Mediator(build_anatom(), resilience=policy)
+        assert mediator.resilience is not None
+        assert mediator.resilience.policy is policy
+
+    def test_mediator_rejects_bad_resilience_argument(self):
+        from repro.errors import MediatorError
+        from repro.core.mediator import Mediator
+        from repro.neuro.anatom import build_anatom
+
+        with pytest.raises(MediatorError):
+            Mediator(build_anatom(), resilience="retry hard, please")
+
+    def test_degraded_answer_covers_only_this_plan(self):
+        # two consecutive plans on one mediator: each report slices out
+        # its own guard outcomes
+        from repro.resilience import SourceGuard
+
+        mediator = build_scenario(eager=False).mediator
+        mediator.resilience = SourceGuard(self.make_policy(max_retries=1))
+        mediator.register(flaky_protein_source(), eager=False)
+        first = mediator.correlate(section5_query())
+        second = mediator.correlate(section5_query())
+        for result in (first, second):
+            report = result.degraded_answer().report_for("FLAKY")
+            assert report is not None
+            # one plan's worth of calls, not the running total
+            assert report.calls <= 2

@@ -1,0 +1,266 @@
+"""Tests for SourceGuard: retry, breaker, staleness, timeout, deadline."""
+
+import pytest
+
+from repro.errors import BreakerOpenError, SourceError, SourceTimeoutError
+from repro.resilience import (
+    ResiliencePolicy,
+    STATUS_BREAKER_OPEN,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_RETRIED,
+    STATUS_STALE,
+    SourceGuard,
+    VirtualClock,
+)
+
+
+def make_guard(clock=None, **kwargs):
+    clock = clock if clock is not None else VirtualClock()
+    policy = ResiliencePolicy(clock=clock.now, sleep=clock.sleep, **kwargs)
+    return SourceGuard(policy), clock
+
+
+class Flaky:
+    """A callable failing its first `failures` invocations."""
+
+    def __init__(self, failures, result="rows", exc=SourceError):
+        self.failures = failures
+        self.result = result
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc("down (call %d)" % self.calls)
+        return self.result
+
+
+class TestRetries:
+    def test_first_try_success_is_ok(self):
+        guard, _clock = make_guard()
+        assert guard.call("S", "c", lambda: "rows") == "rows"
+        (outcome,) = guard.outcomes
+        assert outcome.status == STATUS_OK
+        assert outcome.attempts == 1
+        assert outcome.retries == 0
+
+    def test_transient_failure_recovers_via_retry(self):
+        guard, clock = make_guard(max_retries=2, backoff_base=0.1)
+        flaky = Flaky(failures=1)
+        assert guard.call("S", "c", flaky) == "rows"
+        (outcome,) = guard.outcomes
+        assert outcome.status == STATUS_RETRIED
+        assert outcome.attempts == 2
+        assert outcome.retries == 1
+        assert clock.slept == pytest.approx(0.1)  # one backoff
+
+    def test_backoff_delays_are_exponential(self):
+        guard, clock = make_guard(
+            max_retries=3, backoff_base=0.1, backoff_multiplier=2.0
+        )
+        guard.call("S", "c", Flaky(failures=3))
+        assert clock.slept == pytest.approx(0.1 + 0.2 + 0.4)
+
+    def test_exhausted_retries_raise_the_last_error(self):
+        guard, _clock = make_guard(max_retries=2)
+        flaky = Flaky(failures=99)
+        with pytest.raises(SourceError):
+            guard.call("S", "c", flaky)
+        assert flaky.calls == 3  # 1 + max_retries
+        (outcome,) = guard.outcomes
+        assert outcome.status == STATUS_FAILED
+        assert outcome.attempts == 3
+        assert "SourceError" in outcome.error
+
+    def test_non_repro_errors_are_not_retried(self):
+        guard, _clock = make_guard(max_retries=5)
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise KeyError("not a source failure")
+
+        with pytest.raises(KeyError):
+            guard.call("S", "c", bad)
+        assert len(calls) == 1  # no retry on unexpected exception types
+
+    def test_seeded_jitter_reproduces_sleep_sequence(self):
+        slept = []
+        for _ in range(2):
+            guard, clock = make_guard(
+                max_retries=3, backoff_base=0.1, jitter=0.3, seed=42
+            )
+            guard.call("S", "c", Flaky(failures=3))
+            slept.append(clock.slept)
+        assert slept[0] == slept[1]
+
+
+class TestBreaker:
+    def test_breaker_opens_and_sheds_calls(self):
+        guard, _clock = make_guard(max_retries=0, breaker_threshold=2)
+        flaky = Flaky(failures=99)
+        for _ in range(2):
+            with pytest.raises(SourceError):
+                guard.call("S", "c", flaky)
+        # breaker now open: the source is not even contacted
+        with pytest.raises(BreakerOpenError) as excinfo:
+            guard.call("S", "c", flaky)
+        assert flaky.calls == 2
+        assert excinfo.value.source == "S"
+        assert excinfo.value.class_name == "c"
+        assert guard.outcomes[-1].status == STATUS_BREAKER_OPEN
+
+    def test_half_open_probe_recovers_the_source(self):
+        guard, clock = make_guard(
+            max_retries=0, breaker_threshold=1, breaker_cooldown=30.0
+        )
+        with pytest.raises(SourceError):
+            guard.call("S", "c", Flaky(failures=99))
+        with pytest.raises(BreakerOpenError):
+            guard.call("S", "c", lambda: "rows")
+        clock.advance(30.0)  # cooldown elapses -> half-open probe
+        assert guard.call("S", "c", lambda: "rows") == "rows"
+        assert guard.breakers.state_for_source("S", clock.now()) == "closed"
+
+    def test_breakers_are_per_class(self):
+        guard, _clock = make_guard(max_retries=0, breaker_threshold=1)
+        with pytest.raises(SourceError):
+            guard.call("S", "sick", Flaky(failures=99))
+        # the same source's other class is unaffected
+        assert guard.call("S", "healthy", lambda: "rows") == "rows"
+
+
+class TestStaleness:
+    def test_serves_last_known_good_when_down(self):
+        guard, _clock = make_guard(max_retries=0, serve_stale=True)
+        key = ("q",)
+        assert guard.call("S", "c", lambda: ["fresh"], cache_key=key) == [
+            "fresh"
+        ]
+
+        def down():
+            raise SourceError("gone")
+
+        assert guard.call("S", "c", down, cache_key=key) == ["fresh"]
+        assert guard.outcomes[-1].status == STATUS_STALE
+        assert guard.outcomes[-1].stale
+
+    def test_stale_serving_requires_a_prior_answer(self):
+        guard, _clock = make_guard(max_retries=0, serve_stale=True)
+
+        def down():
+            raise SourceError("gone")
+
+        with pytest.raises(SourceError):
+            guard.call("S", "c", down, cache_key=("q",))
+
+    def test_breaker_open_can_serve_stale(self):
+        guard, _clock = make_guard(
+            max_retries=0, breaker_threshold=1, serve_stale=True
+        )
+        key = ("q",)
+        guard.call("S", "c", lambda: ["fresh"], cache_key=key)
+
+        def down():
+            raise SourceError("gone")
+
+        with pytest.raises(SourceError):
+            guard.call("S", "c", down, cache_key=("other",))
+        # breaker open; the cached query is served stale instead of shed
+        assert guard.call("S", "c", down, cache_key=key) == ["fresh"]
+        assert guard.outcomes[-1].status == STATUS_STALE
+
+    def test_no_caching_without_serve_stale(self):
+        guard, _clock = make_guard(max_retries=0, serve_stale=False)
+        guard.call("S", "c", lambda: ["fresh"], cache_key=("q",))
+
+        def down():
+            raise SourceError("gone")
+
+        with pytest.raises(SourceError):
+            guard.call("S", "c", down, cache_key=("q",))
+
+
+class TestTimeouts:
+    def test_slow_call_times_out(self):
+        guard, clock = make_guard(max_retries=0, call_timeout=1.0)
+
+        def slow():
+            clock.advance(5.0)
+            return "rows"
+
+        with pytest.raises(SourceTimeoutError):
+            guard.call("S", "c", slow)
+        assert "timeout" in guard.outcomes[-1].error.lower()
+
+    def test_timeout_then_retry_succeeds(self):
+        guard, clock = make_guard(max_retries=1, call_timeout=1.0)
+        state = {"first": True}
+
+        def sometimes_slow():
+            if state.pop("first", False):
+                clock.advance(5.0)
+            return "rows"
+
+        assert guard.call("S", "c", sometimes_slow) == "rows"
+        assert guard.outcomes[-1].status == STATUS_RETRIED
+
+
+class TestPlanDeadline:
+    def test_deadline_stops_retries(self):
+        guard, clock = make_guard(
+            max_retries=10, backoff_base=1.0, plan_deadline=2.5
+        )
+        flaky = Flaky(failures=99)
+        with guard.plan_scope():
+            with pytest.raises(SourceError):
+                guard.call("S", "c", flaky)
+        # backoff sleeps burn the budget; retries stop once exhausted
+        assert flaky.calls < 11
+        assert clock.slept <= 2.5 + 1e-9
+
+    def test_scope_is_reentrant(self):
+        guard, _clock = make_guard(plan_deadline=10.0)
+        with guard.plan_scope():
+            outer = guard.deadline_remaining()
+            with guard.plan_scope():
+                # nested scope shares the outer budget
+                assert guard.deadline_remaining() == outer
+            assert guard.deadline_remaining() is not None
+        assert guard.deadline_remaining() is None
+
+    def test_no_deadline_means_unbounded(self):
+        guard, _clock = make_guard()
+        with guard.plan_scope():
+            assert guard.deadline_remaining() is None
+
+
+class TestOutcomeLog:
+    def test_mark_and_slice(self):
+        guard, _clock = make_guard()
+        guard.call("A", "c", lambda: 1)
+        mark = guard.mark()
+        guard.call("B", "c", lambda: 2)
+        sliced = guard.outcomes_since(mark)
+        assert [o.source for o in sliced] == ["B"]
+
+    def test_outcome_as_dict_is_json_ready(self):
+        import json
+
+        guard, _clock = make_guard()
+        guard.call("A", "c", lambda: 1)
+        json.dumps(guard.outcomes[0].as_dict())
+
+
+class TestObservability:
+    def test_retry_and_breaker_flow_to_metrics(self):
+        from repro import obs
+
+        guard, _clock = make_guard(max_retries=1, breaker_threshold=2)
+        with obs.capture("guard") as tracer:
+            with pytest.raises(SourceError):
+                guard.call("S", "c", Flaky(failures=99))
+        assert tracer.metrics.counter_total("resilience.retry") == 1
+        assert tracer.metrics.counter_total("resilience.breaker_opened") == 1

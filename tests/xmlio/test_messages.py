@@ -80,6 +80,75 @@ class TestAnswerCodec:
             rows_from_xml(tampered)
 
 
+class TestMalformedAnswers:
+    """Every malformed payload must raise XMLTransportError — never
+    ExpatError, KeyError, or silently wrong data."""
+
+    def good_answer(self):
+        return rows_to_xml(
+            "protein_amount",
+            [
+                {"_object": "S.protein_amount.1", "protein_name": "Calbindin"},
+                {"_object": "S.protein_amount.2", "protein_name": "RyR"},
+            ],
+        )
+
+    def test_truncated_document(self):
+        answer = self.good_answer()
+        with pytest.raises(XMLTransportError):
+            rows_from_xml(answer[: len(answer) // 2])
+
+    def test_wrong_root_element(self):
+        answer = self.good_answer().replace("<answer", "<wrong", 1).replace(
+            "</answer>", "</wrong>"
+        )
+        with pytest.raises(XMLTransportError):
+            rows_from_xml(answer)
+
+    def test_missing_class_attribute(self):
+        with pytest.raises(XMLTransportError):
+            rows_from_xml('<answer count="0"/>')
+
+    def test_lying_count(self):
+        answer = self.good_answer().replace('count="2"', 'count="92"')
+        with pytest.raises(XMLTransportError):
+            rows_from_xml(answer)
+
+    def test_non_numeric_count(self):
+        answer = self.good_answer().replace('count="2"', 'count="lots"')
+        with pytest.raises(XMLTransportError):
+            rows_from_xml(answer)
+
+    def test_nameless_column(self):
+        answer = (
+            '<answer class="c" count="1"><row object="o">'
+            "<col>orphan</col></row></answer>"
+        )
+        with pytest.raises(XMLTransportError):
+            rows_from_xml(answer)
+
+    def test_corrupt_typed_value(self):
+        answer = (
+            '<answer class="c" count="1"><row object="o">'
+            '<col name="amount" type="float">not-a-number</col>'
+            "</row></answer>"
+        )
+        with pytest.raises(XMLTransportError):
+            rows_from_xml(answer)
+
+    def test_registration_without_capabilities_section(self):
+        from repro.core.registration import parse_registration
+        from repro.xmlio.gcm_xml import cm_to_element
+        from repro.xmlio.doc import serialize
+
+        import xml.etree.ElementTree as ET
+
+        root = ET.Element("register", {"source": "S"})
+        root.append(cm_to_element(build_ncmir().schema_cm()))
+        with pytest.raises(XMLTransportError):
+            parse_registration(serialize(root))
+
+
 class TestWrapperEndpoint:
     def test_query_over_the_wire(self, ncmir):
         request = query_to_xml(
