@@ -127,6 +127,81 @@ def resilience_overhead(calls=200):
     }
 
 
+def cache_effect(seed=2001):
+    """Cold vs warm Section 5 correlation under one answer cache.
+
+    Runs the correlation twice over the XML dialogue against the same
+    mediator with medcache on: the cold run pays the wire, the warm
+    run must answer entirely from cache (zero source queries, zero
+    query wire bytes) and be measurably faster.
+    """
+    import time
+
+    from repro import obs
+    from repro.cache import AnswerCache
+    from repro.neuro import build_scenario, section5_query
+
+    mediator = build_scenario(
+        seed=seed, eager=False, dialogue_via_xml=True, cache=AnswerCache()
+    ).mediator
+    runs = []
+    for _ in range(2):
+        with obs.capture("bench-cache") as tracer:
+            start = time.perf_counter()
+            result = mediator.correlate(section5_query())
+            seconds = time.perf_counter() - start
+        runs.append(
+            {
+                "seconds": seconds,
+                "answers": len(result.context.answers),
+                "source_queries": tracer.metrics.counter_total(
+                    "source.queries"
+                ),
+                "query_wire_bytes": tracer.metrics.counter_value(
+                    "wire.bytes", kind="query"
+                ),
+            }
+        )
+    cold, warm = runs
+
+    # the correlation is dominated by datalog evaluation, so the
+    # cache's effect is measured where it acts: one source call over
+    # the XML wire vs one warm hit
+    from repro.sources import SourceQuery
+
+    query = SourceQuery(
+        "protein_amount", {"location": "Purkinje Cell dendrite"}
+    )
+
+    def per_call(med, calls=200):
+        med.source_query("NCMIR", query)  # warm outside the window
+        start = time.perf_counter()
+        for _ in range(calls):
+            med.source_query("NCMIR", query)
+        return (time.perf_counter() - start) / calls
+
+    wire_call_s = per_call(
+        build_scenario(seed=seed, eager=False, dialogue_via_xml=True).mediator
+    )
+    hit_call_s = per_call(mediator)
+
+    return {
+        "cold_s": cold["seconds"],
+        "warm_s": warm["seconds"],
+        "wire_call_s": wire_call_s,
+        "hit_call_s": hit_call_s,
+        "speedup_ratio": wire_call_s / hit_call_s if hit_call_s else None,
+        "cold_source_queries": cold["source_queries"],
+        "warm_source_queries": warm["source_queries"],
+        "cold_query_wire_bytes": cold["query_wire_bytes"],
+        "warm_query_wire_bytes": warm["query_wire_bytes"],
+        "answers": cold["answers"],
+        "entries": mediator.cache.entry_count,
+        "hits": mediator.cache.stats.hits,
+        "misses": mediator.cache.stats.misses,
+    }
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write the machine-readable benchmark summary at the repo root."""
     try:
@@ -134,6 +209,7 @@ def pytest_sessionfinish(session, exitstatus):
             "timings": _timing_rows(session.config),
             "metrics": _obs_counters(),
             "resilience": resilience_overhead(),
+            "cache": cache_effect(),
         }
     except Exception as exc:  # never fail the session over the summary
         summary = {"error": "%s: %s" % (type(exc).__name__, exc)}

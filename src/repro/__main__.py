@@ -23,7 +23,12 @@ Three subcommands:
   degraded-answer contract, byte-identically across reruns of the same
   seed.  With targets, each deployment script runs with every wrapper
   misbehaving on a seeded recoverable schedule and must still
-  complete, all raising faults absorbed by the resilience layer.
+  complete, all raising faults absorbed by the resilience layer;
+* ``cache`` — medcache: ``stats`` prints the deterministic cache
+  counters of a cold+warm Section 5 double run, ``warm``/``clear``
+  demonstrate priming and flushing, and ``verify`` checks the
+  cache-correctness contract (second run byte-identical with zero
+  query wire bytes) on the scenario or on deployment scripts.
 """
 
 from __future__ import annotations
@@ -208,10 +213,100 @@ def chaos(args):
     return 0 if all(report.ok for report in reports) else 1
 
 
+def cache_cmd(args):
+    """medcache: stats / warm / clear / verify."""
+    from repro import obs
+    from repro.cache import AnswerCache
+    from repro.neuro import build_scenario, section5_query
+
+    if args.action == "verify":
+        from repro.cache.verify import verify_scenario, verify_script
+
+        reports = (
+            [verify_script(target) for target in args.targets]
+            if args.targets
+            else [verify_scenario()]
+        )
+        if args.json:
+            print(
+                json.dumps(
+                    [report.as_dict() for report in reports],
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            for index, report in enumerate(reports):
+                if index:
+                    print()
+                print(report.format())
+        return 0 if all(report.ok for report in reports) else 1
+
+    # stats / warm / clear all prime the same deterministic workload:
+    # the Section 5 correlation over the XML wire, against the shipped
+    # scenario with a fixed seed
+    cache = AnswerCache()
+    with obs.capture("repro-cache") as tracer:
+        scenario = build_scenario(
+            eager=False, dialogue_via_xml=True, cache=cache
+        )
+        mediator = scenario.mediator
+        runs = 1 if args.action == "warm" else 2
+        for _run in range(runs):
+            mediator.correlate(section5_query())
+    flushed = None
+    if args.action == "clear":
+        flushed = cache.flush(reason="repro cache clear")
+    payload = {
+        "action": args.action,
+        "cache": cache.stats_dict(),
+        "counters": tracer.metrics.counters_with_prefix("cache."),
+        "source_queries": tracer.metrics.counter_total("source.queries"),
+        "query_wire_bytes": tracer.metrics.counter_value(
+            "wire.bytes", kind="query"
+        ),
+    }
+    if flushed is not None:
+        payload["flushed"] = {
+            "entries": flushed[0],
+            "materializations": flushed[1],
+        }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print("medcache %s — Section 5 workload (%d run%s over the XML wire)"
+          % (args.action, runs, "" if runs == 1 else "s"))
+    for key, value in sorted(payload["cache"].items()):
+        print("  cache.%-28s %s" % (key, value))
+    for key, value in sorted(payload["counters"].items()):
+        print("  counter.%-26s %s" % (key, value))
+    print("  %-34s %s" % ("source_queries", payload["source_queries"]))
+    print("  %-34s %s" % ("query_wire_bytes", payload["query_wire_bytes"]))
+    if flushed is not None:
+        print("  flushed %d entries, %d materializations" % flushed)
+    return 0
+
+
+_EPILOG = """subcommands:
+  demo   run the KIND scenario live demo (the default)
+  lint   medlint — statically analyze deployments (MBM0xx diagnostics)
+  trace  medtrace — run deployments under the tracer, print spans + metrics
+  chaos  medguard — seeded fault injection + degraded-answer contract
+  cache  medcache — answer-cache stats, warming, and correctness verify
+"""
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Model-Based Mediation with Domain Maps (ICDE 2001)",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version="%(prog)s " + _version(),
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -323,7 +418,42 @@ def build_parser():
         help="do not silence the target scripts' own stdout",
     )
     chaos_parser.set_defaults(func=chaos)
+
+    cache_parser = sub.add_parser(
+        "cache",
+        help="answer-cache stats / warming / correctness verify (medcache)",
+        description="medcache front end.  'stats' runs the Section 5 "
+        "correlation twice (cold, then warm from the cache) over the "
+        "XML wire and prints the deterministic cache counters; 'warm' "
+        "primes a cache with one run; 'clear' demonstrates the flush "
+        "escape hatch; 'verify' checks the cache-correctness contract "
+        "— cached reruns must answer byte-identically with zero query "
+        "wire bytes — on the shipped scenario, or on each given "
+        "deployment script run twice over one shared store.  Exits "
+        "non-zero on a verify failure.  See docs/caching.md.",
+    )
+    cache_parser.add_argument(
+        "action",
+        choices=("stats", "warm", "clear", "verify"),
+        help="what to do",
+    )
+    cache_parser.add_argument(
+        "targets",
+        nargs="*",
+        help="deployment scripts (.py) for 'verify' (default: the "
+        "shipped Section 5 scenario)",
+    )
+    cache_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    cache_parser.set_defaults(func=cache_cmd)
     return parser
+
+
+def _version():
+    from repro import __version__
+
+    return __version__
 
 
 def main(argv=None):

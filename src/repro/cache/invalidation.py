@@ -1,0 +1,59 @@
+"""The domain-map-aware invalidation engine.
+
+A deployment change — a new source, a ``dm_refinement``, a new view —
+does not outdate the whole cache; it outdates the answers whose
+anchoring concepts are *semantically connected* to what changed.  The
+connection is computed with the same graphops closures the paper's
+queries use:
+
+* **isa**: refining ``Basket_Cell < Neuron`` changes what counts as a
+  ``Neuron``, so every answer anchored at `Neuron` *or any of its
+  ancestors* may now be incomplete — the upward isa closure
+  (:func:`~repro.domainmap.graphops.ancestors`).
+* **roles** (`has`/`proj`/...): the Section 5 aggregate sums along
+  ``has_a_star`` below a root, so an answer rooted at `Cerebellum` also
+  depends on everything reachable *down* the navigation graph — which
+  means a changed concept invalidates its role *containers* (the
+  upward closure :func:`~repro.domainmap.graphops.role_containers`,
+  whose `tc`/`dc` machinery includes eqv edges and isa hops).
+
+Answers anchored at concepts *outside* that closure — siblings,
+descendants, other worlds — provably cannot mention the changed
+concepts and survive.  The seeds of a refinement come from
+:meth:`~repro.domainmap.registry.RegistrationResult.touched_concepts`:
+new concepts plus both endpoints of every new isa pair and role link
+(a refinement adding only role links still seeds invalidation).
+"""
+
+from __future__ import annotations
+
+from ..domainmap.graphops import ancestors, role_containers
+
+
+def refinement_seeds(result):
+    """The invalidation seed set of one ``register_concepts`` result."""
+    return result.touched_concepts()
+
+
+def affected_concepts(dm, seeds, roles=None):
+    """Every concept whose anchored answers a change at `seeds` may
+    outdate: the seeds themselves plus their upward isa closure and
+    their role containers along every (or the given) DM role.
+
+    Call *after* the refinement has been applied to `dm`, so the new
+    concepts' ancestors are resolvable.  Unknown seeds (a concept the
+    DM never learned) are kept as-is but contribute no closure.
+    """
+    seeds = set(seeds)
+    if not seeds:
+        return frozenset()
+    if roles is None:
+        roles = sorted(dm.roles)
+    affected = set(seeds)
+    for seed in seeds:
+        if seed not in dm.concepts:
+            continue
+        affected |= ancestors(dm, seed)
+        for role in roles:
+            affected |= role_containers(dm, seed, role)
+    return frozenset(affected)

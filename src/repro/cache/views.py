@@ -1,0 +1,157 @@
+"""Materialized integrated views.
+
+``Mediator.materialize(view)`` evaluates an integrated view once over
+the current knowledge base and snapshots the facts its head rules
+derived.  While the materialization is live, :meth:`assembled_rules`
+swaps the view's *rules* out and its *facts* in, so later ``ask``/
+``correlate`` evaluations serve the view without re-deriving it.
+
+Each materialization carries its invalidation coordinates:
+
+* **concepts** — :func:`view_anchor_concepts`: the DM concepts named
+  literally in the view's rule bodies, plus the anchor concepts of
+  every (source, class) the semantic index knows for the body classes.
+  This is the set the domain-map-aware engine intersects against.
+* **classes** — the head and body class names, for the coarser
+  class-overlap check (a new exporter of a body class outdates the
+  snapshot even when no concept moved).
+
+A view whose anchor-concept set comes back *empty* is "uncacheable":
+the invalidation engine cannot scope its dependencies and drops its
+materialization on every deployment change (medlint flags the
+situation as MBM034 before you pay for it).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from ..datalog.ast import Rule
+from ..datalog.terms import Const
+
+
+class Materialization:
+    """One materialized view: its snapshot facts + invalidation
+    coordinates."""
+
+    __slots__ = ("view_name", "facts", "concepts", "classes")
+
+    def __init__(self, view_name, facts, concepts=(), classes=()):
+        self.view_name = view_name
+        self.facts: List[Rule] = list(facts)
+        self.concepts: FrozenSet[str] = frozenset(concepts)
+        self.classes: FrozenSet[str] = frozenset(classes)
+
+    @property
+    def uncacheable(self):
+        """No anchor concepts: invalidation cannot scope this view, so
+        any deployment change drops it."""
+        return not self.concepts
+
+    def __repr__(self):
+        return "Materialization(%r, facts=%d, concepts=%d, classes=%d)" % (
+            self.view_name,
+            len(self.facts),
+            len(self.concepts),
+            len(self.classes),
+        )
+
+
+def _const_classes(rules, pred):
+    """Constant second arguments of `pred` atoms in rule heads."""
+    classes = set()
+    for rule in rules:
+        atom = rule.head
+        if atom.pred == pred and len(atom.args) >= 2 and isinstance(
+            atom.args[1], Const
+        ):
+            classes.add(atom.args[1].value)
+    return classes
+
+
+def _body_instance_classes(rules):
+    """Constant classes of `instance` atoms in rule bodies."""
+    classes = set()
+    for rule in rules:
+        for literal in rule.body:
+            atom = getattr(literal, "atom", literal)
+            if (
+                getattr(atom, "pred", None) == "instance"
+                and len(atom.args) == 2
+                and isinstance(atom.args[1], Const)
+            ):
+                classes.add(atom.args[1].value)
+    return classes
+
+
+def view_classes(view):
+    """(head classes, body classes) of an integrated view's translated
+    rules."""
+    rules = view.datalog_rules()
+    return _const_classes(rules, "instance"), _body_instance_classes(rules)
+
+
+def view_anchor_concepts(mediator, view):
+    """The DM concepts a view's derivation depends on (see module
+    docstring); frozenset, possibly empty (= uncacheable)."""
+    from ..core.views import DistributionView, IntegratedView
+
+    concepts = set()
+    if isinstance(view, DistributionView):
+        body_classes = {view.source_class}
+    elif isinstance(view, IntegratedView):
+        head_classes, body_classes = view_classes(view)
+        # classes named in the body that *are* DM concepts anchor the
+        # view directly (``X : 'Pyramidal_Spine'`` style literals)
+        concepts |= {c for c in body_classes | head_classes if c in mediator.dm.concepts}
+    else:
+        return frozenset()
+    for source in mediator.source_names():
+        for class_name in body_classes:
+            concepts.update(
+                mediator.index.concepts_of_class(source, class_name)
+            )
+    return frozenset(concepts)
+
+
+def build_materialization(mediator, view, store):
+    """Snapshot what `view` derived in an evaluated `store`.
+
+    Collects the ``instance`` facts of the view's head classes and the
+    ``method_inst`` facts of its head methods on those objects — the
+    view's visible derivation, re-tellable as ground rules.
+    """
+    rules = view.datalog_rules()
+    head_classes = _const_classes(rules, "instance")
+    head_methods = {
+        rule.head.args[1].value
+        for rule in rules
+        if rule.head.pred == "method_inst"
+        and len(rule.head.args) >= 2
+        and isinstance(rule.head.args[1], Const)
+    }
+    objects = set()
+    facts = []
+    for atom in store.sorted_atoms("instance"):
+        if (
+            len(atom.args) == 2
+            and isinstance(atom.args[1], Const)
+            and atom.args[1].value in head_classes
+        ):
+            objects.add(atom.args[0])
+            facts.append(Rule(atom))
+    for atom in store.sorted_atoms("method_inst"):
+        if (
+            len(atom.args) >= 3
+            and atom.args[0] in objects
+            and isinstance(atom.args[1], Const)
+            and atom.args[1].value in head_methods
+        ):
+            facts.append(Rule(atom))
+    _head, body_classes = view_classes(view)
+    return Materialization(
+        view.name,
+        facts,
+        concepts=view_anchor_concepts(mediator, view),
+        classes=head_classes | body_classes,
+    )

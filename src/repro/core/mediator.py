@@ -37,6 +37,13 @@ from ..domainmap.registry import register_concepts
 from ..flogic.engine import FLogicEngine
 from ..gcm.constraints import check as gcm_check
 from .aggregate import Distribution, aggregate_over_dm
+from ..cache import (
+    AnswerCache,
+    CacheStore,
+    affected_concepts,
+    query_fingerprint,
+    refinement_seeds,
+)
 from ..resilience.guard import SourceGuard
 from ..resilience.policy import ResiliencePolicy
 from .planner import (
@@ -76,6 +83,7 @@ class Mediator:
         dialogue_via_xml=False,
         strict=False,
         resilience=None,
+        cache=None,
     ):
         self.name = name
         self.dm = dm if dm is not None else DomainMap("%s_dm" % name)
@@ -101,10 +109,32 @@ class Mediator:
                 "resilience must be a ResiliencePolicy or SourceGuard, "
                 "not %r" % type(resilience).__name__
             )
+        #: the medcache layer: an :class:`~repro.cache.AnswerCache`
+        #: (accepted directly, built over a given
+        #: :class:`~repro.cache.CacheStore`, or default-constructed
+        #: with ``cache=True``), or None — in which case source calls
+        #: and view evaluations are never cached
+        if cache is None:
+            self.cache = None
+        elif isinstance(cache, AnswerCache):
+            self.cache = cache
+        elif isinstance(cache, CacheStore):
+            self.cache = AnswerCache(store=cache)
+        elif cache is True:
+            self.cache = AnswerCache()
+        else:
+            raise MediatorError(
+                "cache must be an AnswerCache, a CacheStore or True, "
+                "not %r" % type(cache).__name__
+            )
+        if self.cache is not None:
+            # dropping a materialization must reset the assembled
+            # engine, or a stale snapshot would keep answering
+            self.cache.on_materializations_changed = self._invalidate
         self._safety_checked = False
         self._sources: Dict[str, RegisteredSource] = {}
         self._views: Dict[str, object] = {}
-        self._view_rules: List[Rule] = []
+        self._view_rules_by_name: Dict[str, List[Rule]] = {}
         self._facts: List[Rule] = []
         self._materialized: List[Rule] = []
         self._engine: Optional[FLogicEngine] = None
@@ -163,8 +193,25 @@ class Mediator:
 
         if self.strict:
             self._require_clean_registration(registration)
+        refinement_result = None
         if registration.refinement:
-            register_concepts(self.dm, registration.refinement, allow_new_roles=True)
+            refinement_result = register_concepts(
+                self.dm, registration.refinement, allow_new_roles=True
+            )
+        if self.cache is not None:
+            # Invalidate *before* the new anchors/facts join the
+            # knowledge base: if the (eager) registration data were
+            # assembled first, a materialization predating this
+            # registration could still answer on its behalf.
+            self._cache_invalidate_change(
+                seeds=(
+                    refinement_seeds(refinement_result)
+                    if refinement_result is not None
+                    else ()
+                ),
+                classes=registration.capabilities,
+                reason="register:%s" % registration.source,
+            )
         for class_name, concept, context in registration.anchors:
             self.index.add_anchor(wrapper.name, class_name, concept, context)
         record = RegisteredSource(wrapper, registration)
@@ -179,6 +226,13 @@ class Mediator:
         are rebuilt from the remaining sources."""
         if source_name not in self._sources:
             raise RegistrationError("source %r is not registered" % source_name)
+        if self.cache is not None:
+            self.cache.invalidate_source(source_name)
+            self._cache_invalidate_change(
+                seeds=self.index.concepts_of_source(source_name),
+                classes=self._sources[source_name].registration.capabilities,
+                reason="deregister:%s" % source_name,
+            )
         del self._sources[source_name]
         self.index.remove_source(source_name)
         self._facts = []
@@ -220,22 +274,65 @@ class Mediator:
         :class:`~repro.resilience.ResiliencePolicy` is configured, the
         call runs under the guard: retries, circuit breaking, timeouts
         and stale serving all apply per attempt.
+
+        When an :class:`~repro.cache.AnswerCache` is configured, it is
+        consulted *above* the guard: a hit skips the wire, the retries
+        and the breaker bookkeeping entirely (a cached fresh answer
+        beats an open breaker).  Misses run the normal path; only
+        fresh results are cached — a medguard stale-serving fallback
+        (last-known-good) is never written into medcache.
         """
         wrapper = self.wrapper(source_name)
+        cache = self.cache
+        fingerprint = None
+        if cache is not None:
+            fingerprint = query_fingerprint(
+                source_name,
+                source_query,
+                self._sources[source_name].registration.capabilities.get(
+                    source_query.class_name
+                ),
+            )
+            entry = cache.lookup(fingerprint)
+            if entry is not None:
+                obs.event(
+                    "cache.hit",
+                    source=source_name,
+                    class_name=source_query.class_name,
+                )
+                obs.count("cache.hits", source=source_name)
+                return list(entry.rows)
+            obs.count("cache.misses", source=source_name)
         guard = self.resilience
         if guard is None:
-            return self._source_query(wrapper, source_query)
-        return guard.call(
-            source_name,
-            source_query.class_name,
-            lambda: self._source_query(wrapper, source_query),
-            cache_key=(
-                tuple(sorted(source_query.selections.items())),
-                tuple(source_query.projection)
-                if source_query.projection is not None
-                else None,
-            ),
-        )
+            rows = self._source_query(wrapper, source_query)
+            fresh = True
+        else:
+            rows = guard.call(
+                source_name,
+                source_query.class_name,
+                lambda: self._source_query(wrapper, source_query),
+                cache_key=(
+                    tuple(sorted(source_query.selections.items())),
+                    tuple(source_query.projection)
+                    if source_query.projection is not None
+                    else None,
+                ),
+            )
+            outcome = guard.last_outcome()
+            fresh = outcome is None or not outcome.stale
+        if cache is not None and fresh:
+            cache.store_answer(
+                fingerprint,
+                source_name,
+                source_query.class_name,
+                rows,
+                concepts=self.index.concepts_of_class(
+                    source_name, source_query.class_name
+                ),
+            )
+            obs.count("cache.puts", source=source_name)
+        return rows
 
     def _source_query(self, wrapper, source_query):
         """One source-call attempt, with the failure vocabulary
@@ -291,18 +388,30 @@ class Mediator:
             self._require_clean_view(view)
         self._views[view.name] = view
         if isinstance(view, IntegratedView):
-            from ..flogic.parser import parse_fl_program
-            from ..flogic.translate import Translator
-
             with obs.span("mediator.add_view", view=view.name) as span:
-                with obs.span("flogic.parse", chars=len(view.fl_rules)):
-                    fl_rules = parse_fl_program(view.fl_rules)
-                with obs.span("flogic.translate", fl_rules=len(fl_rules)):
-                    rules = Translator().translate_rules(fl_rules)
+                rules = view.datalog_rules(traced=True)
                 span.set(datalog_rules=len(rules))
-                self._view_rules.extend(rules)
+                self._view_rules_by_name[view.name] = rules
+        if self.cache is not None:
+            # a new view's rules may feed (or shadow) what an existing
+            # materialized view derived from the same classes
+            self._cache_invalidate_change(
+                classes=self._view_classes(view),
+                reason="add_view:%s" % view.name,
+            )
         self._invalidate()
         return view
+
+    @staticmethod
+    def _view_classes(view):
+        from ..cache.views import view_classes
+
+        if isinstance(view, IntegratedView):
+            head_classes, body_classes = view_classes(view)
+            return head_classes | body_classes | {view.name}
+        if isinstance(view, DistributionView):
+            return {view.name, view.source_class}
+        return {view.name}
 
     def view(self, name):
         view = self._views.get(name)
@@ -318,6 +427,27 @@ class Mediator:
     def _invalidate(self):
         self._engine = None
         self._safety_checked = False
+
+    @property
+    def _view_rules(self):
+        """Flat list of every integrated view's translated rules (in
+        definition order) — kept for introspection compatibility."""
+        rules: List[Rule] = []
+        for view_rules in self._view_rules_by_name.values():
+            rules.extend(view_rules)
+        return rules
+
+    def _cache_invalidate_change(self, seeds=(), classes=(), reason=""):
+        """Route one deployment change through the medcache
+        invalidation engine (no-op without a cache)."""
+        if self.cache is None:
+            return
+        concepts = affected_concepts(self.dm, set(seeds))
+        entries, materializations = self.cache.invalidate(
+            concepts=concepts, classes=set(classes), reason=reason
+        )
+        if entries or materializations:
+            self._invalidate()
 
     # -- static analysis ---------------------------------------------------
 
@@ -367,7 +497,15 @@ class Mediator:
         instance facts — what plan execution evaluates retrieved rows
         against, so a plan's filtering is not undone by eagerly loaded
         data.
+
+        A view with a live medcache materialization is served *as
+        data*: its rules are swapped out and its snapshot facts in
+        (only when ``include_data=True`` — the schema-only program
+        keeps the rules, so planning and lint see the definition).
         """
+        materialized_views = (
+            self.cache.materializations if self.cache is not None else {}
+        )
         rules: List[Rule] = []
         rules.extend(
             compile_domain_map(self.dm, assertions_for=self.edge_assertions)
@@ -376,10 +514,15 @@ class Mediator:
             rules.extend(
                 record.registration.cm.all_rules(include_constraints=False)
             )
-        rules.extend(self._view_rules)
+        for name, view_rules in self._view_rules_by_name.items():
+            if include_data and name in materialized_views:
+                continue
+            rules.extend(view_rules)
         if include_data:
             rules.extend(self._facts)
             rules.extend(self._materialized)
+            for name in sorted(materialized_views):
+                rules.extend(materialized_views[name].facts)
         return rules
 
     def engine(self):
@@ -533,6 +676,52 @@ class Mediator:
         )
         self._invalidate()
         return distribution
+
+    # -- materialized views (medcache) ----------------------------------------
+
+    def materialize(self, view_or_name):
+        """Materialize an :class:`IntegratedView`: evaluate it once
+        over the current knowledge base and serve later ``ask``/
+        ``correlate`` evaluations from the snapshot (the view's rules
+        are swapped out of :meth:`assembled_rules` while the
+        materialization is live).
+
+        Requires a cache (``Mediator(..., cache=...)``) — the snapshot
+        lives in :attr:`AnswerCache.materializations`, where the
+        domain-map-aware invalidation engine drops it when a
+        registration, refinement or new view outdates it.  Returns the
+        :class:`~repro.cache.Materialization`.
+        """
+        from ..cache.views import build_materialization
+
+        if self.cache is None:
+            raise MediatorError(
+                "materialize() needs a cache: construct the mediator "
+                "with Mediator(..., cache=True) or an AnswerCache"
+            )
+        name = view_or_name if isinstance(view_or_name, str) else view_or_name.name
+        view = self.view(name)
+        if not isinstance(view, IntegratedView):
+            raise MediatorError(
+                "only integrated views can be materialized; use "
+                "materialize_distribution for %r" % name
+            )
+        with obs.span("mediator.materialize", view=name) as span:
+            # evaluate with the view's *rules* live (a previous
+            # materialization of the same view must not answer)
+            self.cache.drop_materialization(name)
+            self._invalidate()
+            store = self.evaluate().store
+            materialization = build_materialization(self, view, store)
+            span.set(
+                facts=len(materialization.facts),
+                concepts=len(materialization.concepts),
+            )
+            obs.count("cache.materializations", view=name)
+            # add_materialization resets the engine via the
+            # on_materializations_changed hook
+            self.cache.add_materialization(materialization)
+            return materialization
 
     # -- planned queries -----------------------------------------------------
 

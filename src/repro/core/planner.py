@@ -27,6 +27,7 @@ from contextlib import nullcontext
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .. import obs
+from ..cache.fingerprint import plan_fingerprint
 from ..errors import CapabilityError, PlanningError
 from ..domainmap.graphops import lub
 from ..sources.wrapper import SourceQuery
@@ -117,7 +118,7 @@ class PushSelectionStep(PlanStep):
         return "push {%s} to %s.%s" % (sel, self.source, self.class_name)
 
     def run(self, context):
-        rows = context.mediator.source_query(
+        rows = context.source_query(
             self.source, SourceQuery(self.class_name, self.selections)
         )
         context.rows[(self.source, self.class_name)] = rows
@@ -183,11 +184,10 @@ class RetrieveAnchoredStep(PlanStep):
     def run(self, context):
         from ..errors import SourceError, XMLTransportError
 
-        mediator = context.mediator
         collected = []
         for source in context.selected_sources:
             try:
-                collected.extend(self._retrieve_from(mediator, source))
+                collected.extend(self._retrieve_from(context, source))
             except (SourceError, XMLTransportError) as exc:
                 if not context.degrades_on_failure:
                     raise
@@ -195,9 +195,9 @@ class RetrieveAnchoredStep(PlanStep):
         context.retrieved = collected
         return collected
 
-    def _retrieve_from(self, mediator, source):
+    def _retrieve_from(self, context, source):
         collected = []
-        wrapper = mediator.wrapper(source)
+        wrapper = context.mediator.wrapper(source)
         capability = wrapper.capabilities()[self.target_class]
         pushable, local_filters = capability.partition_selections(
             self.filters, always_bound=(self.anchor_attr,)
@@ -208,7 +208,7 @@ class RetrieveAnchoredStep(PlanStep):
             ):
                 selections = {self.anchor_attr: raw_value}
                 selections.update(pushable)
-                rows = mediator.source_query(
+                rows = context.source_query(
                     source, SourceQuery(self.target_class, selections)
                 )
                 for row in rows:
@@ -301,7 +301,13 @@ class PlanContext:
     callers can tell a complete answer from a partial one.
     """
 
-    def __init__(self, mediator, skip_failed_sources=False, outcome_mark=None):
+    def __init__(
+        self,
+        mediator,
+        skip_failed_sources=False,
+        outcome_mark=None,
+        call_memo=None,
+    ):
         self.mediator = mediator
         self.rows: Dict = {}
         self.bindings: Dict = {}
@@ -311,6 +317,11 @@ class PlanContext:
         self.answers: List = []
         self.skip_failed_sources = skip_failed_sources
         self.errors: List = []
+        #: within-plan memo of successful source calls, keyed by
+        #: fingerprint — :func:`execute` shares one memo between the
+        #: planning probe and the plan run, so identical calls inside
+        #: one correlate() execute once (even with no cache configured)
+        self.call_memo: Dict = {} if call_memo is None else call_memo
         guard = mediator.resilience
         #: slice of the guard's outcome log belonging to this plan
         self._outcome_mark = (
@@ -318,6 +329,30 @@ class PlanContext:
             if outcome_mark is not None
             else (guard.mark() if guard is not None else 0)
         )
+
+    def source_query(self, source, source_query):
+        """One plan-scoped source call, deduplicated within the plan.
+
+        A repeat of an already-answered call (same source, class,
+        selections, projection) is served from the memo without
+        touching the mediator — recorded as a ``cache.dedup`` event on
+        the active plan step and the ``cache.dedup`` counter.  Only
+        successful calls are memoized; failures propagate and are
+        retried per attempt as before.
+        """
+        key = plan_fingerprint(source, source_query)
+        memo = self.call_memo
+        if key in memo:  # empty row lists are valid answers
+            obs.event(
+                "cache.dedup",
+                source=source,
+                class_name=source_query.class_name,
+            )
+            obs.count("cache.dedup", source=source)
+            return list(memo[key])
+        rows = self.mediator.source_query(source, source_query)
+        memo[key] = rows
+        return rows
 
     @property
     def degrades_on_failure(self):
@@ -404,11 +439,18 @@ class QueryPlan:
             for i, step in enumerate(self.steps)
         )
 
-    def execute(self, mediator, skip_failed_sources=False, outcome_mark=None):
+    def execute(
+        self,
+        mediator,
+        skip_failed_sources=False,
+        outcome_mark=None,
+        call_memo=None,
+    ):
         context = PlanContext(
             mediator,
             skip_failed_sources=skip_failed_sources,
             outcome_mark=outcome_mark,
+            call_memo=call_memo,
         )
         guard = mediator.resilience
         scope = guard.plan_scope() if guard is not None else nullcontext()
@@ -436,21 +478,23 @@ def _cardinality(output):
     return 1
 
 
-def plan(mediator, query):
+def plan(mediator, query, call_memo=None):
     """Plan a :class:`CorrelationQuery` (without executing it).
 
     Performs capability checks up front: the seed selections must be
-    answerable by the seed source's binding patterns.
+    answerable by the seed source's binding patterns.  `call_memo`
+    lets :func:`execute` share the planning probe's seed call with
+    the plan run (within-plan dedup).
     """
     with obs.span(
         "plan.build",
         seed_class=query.seed_class,
         target_class=query.target_class,
     ):
-        return _plan(mediator, query)
+        return _plan(mediator, query, call_memo)
 
 
-def _plan(mediator, query):
+def _plan(mediator, query, call_memo=None):
     seed_source = query.seed_source
     if seed_source is None:
         exporters = [
@@ -483,7 +527,7 @@ def _plan(mediator, query):
     step1 = PushSelectionStep(
         seed_source, query.seed_class, query.seed_selections, query.anchor_attrs
     )
-    probe_context = PlanContext(mediator)
+    probe_context = PlanContext(mediator, call_memo=call_memo)
     step1.run(probe_context)
     concept_pairs = probe_context.bindings.get(query.anchor_attrs, [])
     concepts = sorted({c for pair in concept_pairs for c in pair if c})
@@ -515,17 +559,20 @@ def execute(mediator, query, skip_failed_sources=False):
     a source failing during retrieval is recorded in
     ``context.errors`` and the plan continues with the remaining
     sources.  The whole run — the planning probe included — shares one
-    resilience deadline budget and outcome-log slice.
+    resilience deadline budget, outcome-log slice, and within-plan
+    call memo (so the probe's seed query is not re-issued by step 1).
     """
     guard = mediator.resilience
     mark = guard.mark() if guard is not None else None
     scope = guard.plan_scope() if guard is not None else nullcontext()
+    call_memo: Dict = {}
     with scope:
-        query_plan = plan(mediator, query)
+        query_plan = plan(mediator, query, call_memo=call_memo)
         context = query_plan.execute(
             mediator,
             skip_failed_sources=skip_failed_sources,
             outcome_mark=mark,
+            call_memo=call_memo,
         )
     return query_plan, context
 
@@ -597,7 +644,8 @@ class QueryExplain:
         self.plan = query_plan
         self.context = context
         #: list of dicts: index, kind, describe, seconds, cardinality,
-        #: events (the plan.source_skipped records, if any)
+        #: events (plan.source_skipped skips plus cache.dedup /
+        #: cache.hit markers, each tagged with an ``event`` key)
         self.steps = steps
         self.metrics = metrics
 
@@ -617,10 +665,17 @@ class QueryExplain:
                 "     time=%s  cardinality=%s" % (timing.strip(), step["cardinality"])
             )
             for event in step["events"]:
-                lines.append(
-                    "     ! %s: %s (%s)"
-                    % (event["source"], event["error"], event["message"])
-                )
+                name = event.get("event", "plan.source_skipped")
+                if name == "plan.source_skipped":
+                    lines.append(
+                        "     ! %s: %s (%s)"
+                        % (event["source"], event["error"], event["message"])
+                    )
+                else:  # cache.dedup / cache.hit markers
+                    lines.append(
+                        "     ! %s %s.%s"
+                        % (name, event["source"], event["class_name"])
+                    )
         if self.context.degraded:
             lines.append(
                 "degraded answer: skipped sources %s"
@@ -660,6 +715,11 @@ class QueryExplain:
         )
 
 
+#: span events surfaced per step in QueryExplain: skips (degradation)
+#: and the medcache dedup/hit markers
+_EXPLAIN_EVENTS = ("plan.source_skipped", "cache.dedup", "cache.hit")
+
+
 def explain(mediator, query, skip_failed_sources=False):
     """Plan *and execute* `query` under a private tracer; returns a
     :class:`QueryExplain` with per-step timings and cardinalities.
@@ -670,13 +730,15 @@ def explain(mediator, query, skip_failed_sources=False):
     guard = mediator.resilience
     mark = guard.mark() if guard is not None else None
     scope = guard.plan_scope() if guard is not None else nullcontext()
+    call_memo: Dict = {}
     with obs.capture("explain") as tracer:
         with scope:
-            query_plan = plan(mediator, query)
+            query_plan = plan(mediator, query, call_memo=call_memo)
             context = query_plan.execute(
                 mediator,
                 skip_failed_sources=skip_failed_sources,
                 outcome_mark=mark,
+                call_memo=call_memo,
             )
     steps = []
     for span in tracer.find_spans("plan.step"):
@@ -688,9 +750,9 @@ def explain(mediator, query, skip_failed_sources=False):
                 "seconds": span.duration(),
                 "cardinality": span.attrs.get("cardinality"),
                 "events": [
-                    dict(event.attrs)
+                    dict(event.attrs, event=event.name)
                     for event in span.events
-                    if event.name == "plan.source_skipped"
+                    if event.name in _EXPLAIN_EVENTS
                 ],
             }
         )

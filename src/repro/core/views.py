@@ -32,6 +32,28 @@ class IntegratedView:
         self.description = description
         self.depends_on = tuple(depends_on)
 
+    def datalog_rules(self, traced=False):
+        """The view's F-logic rules parsed and translated to Datalog.
+
+        One definition shared by the mediator (``add_view``), the
+        medlint capability pass, and medcache's materializer.  With
+        ``traced=True`` the parse/translate phases are wrapped in the
+        same obs spans ``Mediator.add_view`` historically emitted.
+        """
+        from ..flogic.parser import parse_fl_program
+        from ..flogic.translate import Translator
+
+        if not traced:
+            return list(
+                Translator().translate_rules(parse_fl_program(self.fl_rules))
+            )
+        from .. import obs
+
+        with obs.span("flogic.parse", chars=len(self.fl_rules)):
+            fl_rules = parse_fl_program(self.fl_rules)
+        with obs.span("flogic.translate", fl_rules=len(fl_rules)):
+            return list(Translator().translate_rules(fl_rules))
+
     def __repr__(self):
         return "IntegratedView(%r)" % self.name
 

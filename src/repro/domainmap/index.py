@@ -94,6 +94,18 @@ class SemanticIndex:
         """All concepts a source anchors data at."""
         return sorted({a.concept for a in self._anchors if a.source == source})
 
+    def concepts_of_class(self, source, class_name):
+        """The concepts one exported class of a source anchors data at
+        — the invalidation coordinates of that class's cached
+        answers."""
+        return sorted(
+            {
+                a.concept
+                for a in self._anchors
+                if a.source == source and a.class_name == class_name
+            }
+        )
+
     def anchors_at(self, concept, include_descendants=True):
         """Anchors at a concept (by default including its isa-descendants:
         data anchored at `Purkinje_Cell` *is* `Neuron` data)."""

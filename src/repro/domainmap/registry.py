@@ -45,6 +45,22 @@ class RegistrationResult:
             )
         )
 
+    def touched_concepts(self):
+        """Every concept this refinement introduced or (re)connected:
+        the new concepts plus both endpoints of every new isa pair and
+        role link.  This is the seed set medcache's domain-map-aware
+        invalidation starts its upward closure from — note a
+        refinement adding *only* role links (no new concepts) still
+        seeds it."""
+        touched = set(self.new_concepts)
+        for sub, sup in self.new_isa:
+            touched.add(sub)
+            touched.add(sup)
+        for src, _role, dst in self.new_role_links:
+            touched.add(src)
+            touched.add(dst)
+        return touched
+
     def describe(self):
         lines = ["registered %d new concept(s):" % len(self.new_concepts)]
         for concept in self.new_concepts:

@@ -38,7 +38,8 @@ class KindScenario:
 
 
 def build_scenario(seed=2001, scale=1, eager=True, via_xml=True,
-                   include_anatom_source=False):
+                   include_anatom_source=False, dialogue_via_xml=False,
+                   cache=None):
     """Build the full KIND mediation scenario.
 
     Args:
@@ -50,8 +51,13 @@ def build_scenario(seed=2001, scale=1, eager=True, via_xml=True,
         include_anatom_source: also register the ANATOM atlas source,
             whose registration refines the domain map with cerebellar
             interneuron concepts (the Figure 3 mechanism in situ).
+        dialogue_via_xml: run source *queries* over the XML wire too.
+        cache: optional medcache configuration, passed through to
+            :class:`~repro.core.Mediator` (an AnswerCache, a
+            CacheStore, or True).
     """
-    mediator = Mediator(build_anatom(), name="KIND")
+    mediator = Mediator(build_anatom(), name="KIND",
+                        dialogue_via_xml=dialogue_via_xml, cache=cache)
     synapse = build_synapse(seed, scale)
     ncmir = build_ncmir(seed + 1, scale)
     senselab = build_senselab(seed + 2, scale)

@@ -54,6 +54,21 @@ class Metrics:
         """Sum of a counter across all label sets."""
         return sum(v for k, v in self._counters.items() if k[0] == name)
 
+    def counters_with_prefix(self, prefix):
+        """``{counter name: total across label sets}`` for counters
+        whose name starts with `prefix` — e.g. ``"cache."`` collects
+        the medcache family (``cache.hits``, ``cache.misses``,
+        ``cache.puts``, ``cache.dedup``, ``cache.evictions``,
+        ``cache.invalidated_entries``,
+        ``cache.invalidated_materializations``,
+        ``cache.materializations``).  Sorted by name, so the export
+        is deterministic."""
+        totals = {}
+        for key, value in self._counters.items():
+            if key[0].startswith(prefix):
+                totals[key[0]] = totals.get(key[0], 0) + value
+        return dict(sorted(totals.items()))
+
     def merge(self, other):
         """Fold another registry into this one (counters add, gauges
         take the other's value)."""

@@ -147,6 +147,16 @@ class SourceGuard:
     def outcomes_since(self, mark):
         return self.outcomes[mark:]
 
+    def last_outcome(self):
+        """The most recent :class:`CallOutcome` (None before any call).
+
+        medcache consults this right after :meth:`call` to tell a
+        fresh answer from a stale-served one: only fresh results are
+        written into the answer cache, so a last-known-good fallback
+        never outlives the failure it papered over.
+        """
+        return self.outcomes[-1] if self.outcomes else None
+
     def _record(self, outcome):
         self.outcomes.append(outcome)
         return outcome

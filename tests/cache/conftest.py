@@ -1,0 +1,86 @@
+"""Shared fixtures for the medcache tests: a two-worlds deployment
+small enough to reason about invalidation by hand.
+
+Two sources over one domain map::
+
+    Nervous_System
+        Brain < exists has.Neuron        CELLS  (anchored at Neuron)
+        Gut   < exists has.Glia          GLIA   (anchored at Glia)
+
+CELLS and GLIA live in disjoint branches below ``Tissue``, so a
+refinement below `Neuron` must invalidate CELLS-anchored answers and
+leave GLIA-anchored ones alone.
+"""
+
+import pytest
+
+from repro.core import Mediator
+from repro.domainmap import DomainMap
+from repro.sources import AnchorSpec, Column, RelStore, Wrapper
+
+
+def build_dm():
+    dm = DomainMap("cachetest")
+    dm.add_axioms(
+        """
+        Cell < Tissue_Part
+        Neuron < Cell
+        Glia < Cell
+        Brain < exists has.Neuron
+        Gut < exists has.Glia
+        """
+    )
+    return dm
+
+
+def build_cells_wrapper():
+    store = RelStore("CELLS")
+    store.create_table(
+        "m",
+        [Column("id", "int"), Column("kind", "str"), Column("size", "float")],
+        key="id",
+    ).insert_many(
+        [
+            {"id": 1, "kind": "pyramidal", "size": 20.0},
+            {"id": 2, "kind": "pyramidal", "size": 12.5},
+        ]
+    )
+    wrapper = Wrapper("CELLS", store)
+    wrapper.export_class(
+        "m",
+        "m",
+        "id",
+        methods={"kind": "kind", "size": "size"},
+        anchor=AnchorSpec(concept="Neuron"),
+        selectable={"kind"},
+    )
+    return wrapper
+
+
+def build_glia_wrapper():
+    store = RelStore("GLIA")
+    store.create_table(
+        "g",
+        [Column("id", "int"), Column("kind", "str"), Column("size", "float")],
+        key="id",
+    ).insert_many([{"id": 1, "kind": "astrocyte", "size": 4.0}])
+    wrapper = Wrapper("GLIA", store)
+    wrapper.export_class(
+        "g",
+        "g",
+        "id",
+        methods={"kind": "kind", "size": "size"},
+        anchor=AnchorSpec(concept="Glia"),
+        selectable={"kind"},
+    )
+    return wrapper
+
+
+@pytest.fixture
+def two_world_mediator():
+    from repro.cache import AnswerCache
+
+    mediator = Mediator(build_dm(), name="two-worlds", cache=AnswerCache())
+    mediator.register(build_cells_wrapper(), eager=False)
+    mediator.register(build_glia_wrapper(), eager=False)
+    return mediator

@@ -1,0 +1,97 @@
+"""Fingerprints: deterministic, order-insensitive, capability-aware."""
+
+from repro.cache import (
+    capability_signature,
+    fingerprint_digest,
+    plan_fingerprint,
+    query_fingerprint,
+)
+from repro.sources import SourceQuery
+from repro.sources.capabilities import BindingPattern, ClassCapability
+
+
+def capability(**kwargs):
+    defaults = dict(
+        class_name="c",
+        attributes=["a", "b"],
+        key="a",
+        scannable=True,
+        binding_patterns=[BindingPattern(["a", "b"], "bf")],
+    )
+    defaults.update(kwargs)
+    return ClassCapability(**defaults)
+
+
+class TestQueryFingerprint:
+    def test_selection_order_does_not_matter(self):
+        q1 = SourceQuery("c", {"a": 1, "b": 2})
+        q2 = SourceQuery("c", {"b": 2, "a": 1})
+        assert query_fingerprint("S", q1) == query_fingerprint("S", q2)
+
+    def test_different_selections_differ(self):
+        q1 = SourceQuery("c", {"a": 1})
+        q2 = SourceQuery("c", {"a": 2})
+        assert query_fingerprint("S", q1) != query_fingerprint("S", q2)
+
+    def test_source_and_class_distinguish(self):
+        q = SourceQuery("c", {"a": 1})
+        assert query_fingerprint("S", q) != query_fingerprint("T", q)
+        assert query_fingerprint("S", q) != query_fingerprint(
+            "S", SourceQuery("d", {"a": 1})
+        )
+
+    def test_projection_distinguishes(self):
+        base = query_fingerprint("S", SourceQuery("c", {"a": 1}))
+        projected = query_fingerprint(
+            "S", SourceQuery("c", {"a": 1}, projection=["a"])
+        )
+        assert base != projected
+
+    def test_fingerprint_is_hashable(self):
+        fp = query_fingerprint(
+            "S", SourceQuery("c", {"a": 1}), capability()
+        )
+        assert {fp: 1}[fp] == 1
+
+    def test_unhashable_selection_value_canonicalized(self):
+        q1 = SourceQuery("c", {"a": [1, 2]})
+        q2 = SourceQuery("c", {"a": [1, 2]})
+        fp1, fp2 = query_fingerprint("S", q1), query_fingerprint("S", q2)
+        assert fp1 == fp2
+        assert {fp1: 1}[fp2] == 1
+
+
+class TestCapabilitySignature:
+    def test_none_capability(self):
+        assert capability_signature(None) is None
+
+    def test_equal_capabilities_equal_signatures(self):
+        assert capability_signature(capability()) == capability_signature(
+            capability()
+        )
+
+    def test_binding_patterns_change_signature(self):
+        changed = capability(binding_patterns=[BindingPattern(["a", "b"], "fb")])
+        assert capability_signature(capability()) != capability_signature(
+            changed
+        )
+
+    def test_signature_feeds_the_fingerprint(self):
+        q = SourceQuery("c", {"a": 1})
+        changed = capability(scannable=False)
+        assert query_fingerprint("S", q, capability()) != query_fingerprint(
+            "S", q, changed
+        )
+
+
+class TestPlanFingerprint:
+    def test_ignores_capability(self):
+        q = SourceQuery("c", {"a": 1})
+        assert plan_fingerprint("S", q) == query_fingerprint("S", q, None)
+
+
+class TestDigest:
+    def test_stable_and_short(self):
+        fp = query_fingerprint("S", SourceQuery("c", {"a": 1}))
+        assert fingerprint_digest(fp) == fingerprint_digest(fp)
+        assert len(fingerprint_digest(fp)) == 16

@@ -1,0 +1,53 @@
+"""The affected-concepts closure: upward isa closure plus role
+containers, computed on the two-worlds domain map."""
+
+from repro.cache import affected_concepts, refinement_seeds
+from repro.domainmap.registry import RegistrationResult
+
+from .conftest import build_dm
+
+
+class TestAffectedConcepts:
+    def test_empty_seeds(self):
+        assert affected_concepts(build_dm(), []) == frozenset()
+
+    def test_upward_isa_closure(self):
+        affected = affected_concepts(build_dm(), ["Neuron"])
+        assert "Neuron" in affected
+        assert "Cell" in affected and "Tissue_Part" in affected
+        # the closure goes *up*: siblings and descendants of the seed
+        # cannot be affected by new data below the seed
+        assert "Glia" not in affected
+
+    def test_role_containers_included(self):
+        # Brain < exists has.Neuron, so Brain-anchored answers can see
+        # new Neuron data through the role edge
+        affected = affected_concepts(build_dm(), ["Neuron"])
+        assert "Brain" in affected
+        assert "Gut" not in affected
+
+    def test_unknown_seed_is_kept_but_not_closed(self):
+        affected = affected_concepts(build_dm(), ["NotAConcept"])
+        assert affected == frozenset({"NotAConcept"})
+
+    def test_disjoint_branches_stay_disjoint(self):
+        neuron_side = affected_concepts(build_dm(), ["Neuron"])
+        glia_side = affected_concepts(build_dm(), ["Glia"])
+        assert "Gut" in glia_side and "Brain" not in glia_side
+        assert neuron_side & glia_side == {"Cell", "Tissue_Part"}
+
+
+class TestRefinementSeeds:
+    def test_seeds_are_touched_concepts(self):
+        result = RegistrationResult(
+            new_concepts=["Basket_Cell"],
+            new_axioms=[],
+            new_isa=[("Basket_Cell", "Neuron")],
+            new_role_links=[("Brain", "has", "Basket_Cell")],
+        )
+        assert refinement_seeds(result) == result.touched_concepts()
+        assert refinement_seeds(result) == {
+            "Basket_Cell",
+            "Neuron",
+            "Brain",
+        }
