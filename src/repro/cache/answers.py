@@ -31,6 +31,7 @@ Invalidation semantics (the contract the mediator relies on):
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional
 
 from .. import obs
@@ -95,6 +96,18 @@ class AnswerCache:
     between caches (e.g. warming a second deployment from a first) is
     supported; sharing the AnswerCache itself would cross-wire the
     materializations, which are per-deployment.
+
+    Args:
+        store: the :class:`~repro.cache.store.CacheStore` holding the
+            entries (default: a bounded
+            :class:`~repro.cache.store.LRUStore`).
+        full_flush_on_change: conservative mode — any deployment
+            change flushes every entry and materialization instead of
+            running the domain-map-aware invalidation.
+
+    Lookups, puts, and invalidation sweeps hold a re-entrant lock:
+    medpar workers hit the cache concurrently, and the stats counters
+    and sweep-then-discard loops are not atomic on their own.
     """
 
     def __init__(self, store=None, full_flush_on_change=False):
@@ -106,27 +119,45 @@ class AnswerCache:
         #: set by the owning mediator so dropping a materialization
         #: resets the mediator's assembled engine
         self.on_materializations_changed = None
+        # re-entrant: flush() runs under invalidate()'s lock when
+        # full_flush_on_change is set
+        self._lock = threading.RLock()
 
     # -- entries ---------------------------------------------------------
 
     def lookup(self, key):
-        """The live entry under `key`, or None; counts a hit/miss."""
-        entry = self.store.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return entry
+        """The live entry under `key`, or None; counts a hit/miss.
+
+        Args:
+            key: the call fingerprint the answer was stored under.
+        """
+        with self._lock:
+            entry = self.store.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return entry
 
     def store_answer(self, key, source, class_name, rows, concepts=()):
-        """Cache one fresh source answer; returns the new entry."""
-        entry = CacheEntry(key, source, class_name, rows, concepts)
-        evicted = self.store.put(key, entry)
-        self.stats.puts += 1
-        self.stats.evictions += len(evicted)
-        if evicted:
-            obs.count("cache.evictions", len(evicted))
-        return entry
+        """Cache one fresh source answer; returns the new entry.
+
+        Args:
+            key: the call fingerprint to store under.
+            source: name of the source that answered.
+            class_name: exported class the rows belong to.
+            rows: the answer rows (stored as a tuple).
+            concepts: DM concepts the class is anchored at, for
+                domain-map-aware invalidation.
+        """
+        with self._lock:
+            entry = CacheEntry(key, source, class_name, rows, concepts)
+            evicted = self.store.put(key, entry)
+            self.stats.puts += 1
+            self.stats.evictions += len(evicted)
+            if evicted:
+                obs.count("cache.evictions", len(evicted))
+            return entry
 
     @property
     def entry_count(self):
@@ -164,51 +195,72 @@ class AnswerCache:
         """Drop what a deployment change outdated.
 
         `concepts` is the affected-concept closure of the change;
-        `classes` the exported/derived class names it touched.  Returns
+        `classes` the exported/derived class names it touched; `reason`
+        is recorded on the invalidation event.  Returns
         ``(dropped_entries, dropped_materializations)``.  See the
         module docstring for the exact overlap semantics.
         """
-        if self.full_flush_on_change:
-            return self.flush(reason=reason or "full_flush_on_change")
-        concepts = frozenset(concepts)
-        classes = frozenset(classes)
-        dropped_entries = 0
-        for key, entry in self.store.items():
-            if entry.concepts & concepts:
-                self.store.discard(key)
-                dropped_entries += 1
-        dropped_materializations = 0
-        for name in sorted(self.materializations):
-            materialization = self.materializations[name]
-            if (
-                materialization.uncacheable
-                or materialization.concepts & concepts
-                or materialization.classes & classes
-            ):
-                del self.materializations[name]
-                dropped_materializations += 1
-        self._record_invalidation(dropped_entries, dropped_materializations, reason)
-        return dropped_entries, dropped_materializations
+        with self._lock:
+            if self.full_flush_on_change:
+                return self.flush(reason=reason or "full_flush_on_change")
+            concepts = frozenset(concepts)
+            classes = frozenset(classes)
+            dropped_entries = 0
+            for key, entry in self.store.items():
+                if entry.concepts & concepts:
+                    self.store.discard(key)
+                    dropped_entries += 1
+            dropped_materializations = 0
+            for name in sorted(self.materializations):
+                materialization = self.materializations[name]
+                if (
+                    materialization.uncacheable
+                    or materialization.concepts & concepts
+                    or materialization.classes & classes
+                ):
+                    del self.materializations[name]
+                    dropped_materializations += 1
+            self._record_invalidation(
+                dropped_entries, dropped_materializations, reason
+            )
+            return dropped_entries, dropped_materializations
 
     def invalidate_source(self, source, reason=""):
-        """Drop every entry cached from `source` (deregistration)."""
-        dropped = 0
-        for key, entry in self.store.items():
-            if entry.source == source:
-                self.store.discard(key)
-                dropped += 1
-        self._record_invalidation(dropped, 0, reason or "deregister:%s" % source)
-        return dropped
+        """Drop every entry cached from `source` (deregistration).
+
+        Args:
+            source: the deregistered source name.
+            reason: free-text reason recorded on the invalidation
+                event.
+        """
+        with self._lock:
+            dropped = 0
+            for key, entry in self.store.items():
+                if entry.source == source:
+                    self.store.discard(key)
+                    dropped += 1
+            self._record_invalidation(
+                dropped, 0, reason or "deregister:%s" % source
+            )
+            return dropped
 
     def flush(self, reason="flush"):
-        """The escape hatch: drop every entry and materialization."""
-        dropped_entries = len(self.store)
-        dropped_materializations = len(self.materializations)
-        self.store.clear()
-        self.materializations.clear()
-        self.stats.flushes += 1
-        self._record_invalidation(dropped_entries, dropped_materializations, reason)
-        return dropped_entries, dropped_materializations
+        """The escape hatch: drop every entry and materialization.
+
+        Args:
+            reason: free-text reason recorded on the invalidation
+                event.
+        """
+        with self._lock:
+            dropped_entries = len(self.store)
+            dropped_materializations = len(self.materializations)
+            self.store.clear()
+            self.materializations.clear()
+            self.stats.flushes += 1
+            self._record_invalidation(
+                dropped_entries, dropped_materializations, reason
+            )
+            return dropped_entries, dropped_materializations
 
     def _record_invalidation(self, entries, materializations, reason):
         self.stats.invalidated_entries += entries

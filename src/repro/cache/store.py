@@ -11,6 +11,7 @@ and for shared-store verification runs.  Anything implementing the
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 
@@ -50,26 +51,35 @@ class CacheStore:
 class DictStore(CacheStore):
     """An unbounded store: never evicts.  Useful in tests and for
     cross-deployment verification runs where eviction would hide
-    invalidation behaviour."""
+    invalidation behaviour.
+
+    Thread-safe: medpar workers may populate the store concurrently.
+    """
 
     def __init__(self):
         self._entries = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key):
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def put(self, key, entry):
-        self._entries[key] = entry
+        with self._lock:
+            self._entries[key] = entry
         return []
 
     def discard(self, key):
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def items(self):
-        return list(self._entries.items())
+        with self._lock:
+            return list(self._entries.items())
 
     def clear(self):
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self):
         return len(self._entries)
@@ -83,6 +93,10 @@ class LRUStore(CacheStore):
     unbounded.  Lookups refresh recency; eviction pops from the cold
     end until both bounds hold (the most recent entry always stays,
     even if alone it exceeds `max_rows`).
+
+    Thread-safe: recency refreshes and the eviction loop mutate shared
+    state, so every operation holds the store lock — two medpar
+    workers putting at once must not interleave the row accounting.
     """
 
     def __init__(self, max_entries=256, max_rows=100_000):
@@ -90,25 +104,28 @@ class LRUStore(CacheStore):
         self.max_rows = max_rows
         self._entries = OrderedDict()
         self._rows = 0
+        self._lock = threading.Lock()
 
     def get(self, key):
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
 
     def put(self, key, entry):
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._rows -= len(old.rows)
-        self._entries[key] = entry
-        self._rows += len(entry.rows)
-        evicted = []
-        while self._over_bounds() and len(self._entries) > 1:
-            _cold_key, cold = self._entries.popitem(last=False)
-            self._rows -= len(cold.rows)
-            evicted.append(cold)
-        return evicted
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._rows -= len(old.rows)
+            self._entries[key] = entry
+            self._rows += len(entry.rows)
+            evicted = []
+            while self._over_bounds() and len(self._entries) > 1:
+                _cold_key, cold = self._entries.popitem(last=False)
+                self._rows -= len(cold.rows)
+                evicted.append(cold)
+            return evicted
 
     def _over_bounds(self):
         if self.max_entries is not None and len(self._entries) > self.max_entries:
@@ -116,18 +133,21 @@ class LRUStore(CacheStore):
         return self.max_rows is not None and self._rows > self.max_rows
 
     def discard(self, key):
-        entry = self._entries.pop(key, None)
-        if entry is None:
-            return False
-        self._rows -= len(entry.rows)
-        return True
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._rows -= len(entry.rows)
+            return True
 
     def items(self):
-        return list(self._entries.items())
+        with self._lock:
+            return list(self._entries.items())
 
     def clear(self):
-        self._entries.clear()
-        self._rows = 0
+        with self._lock:
+            self._entries.clear()
+            self._rows = 0
 
     def __len__(self):
         return len(self._entries)

@@ -44,6 +44,7 @@ from ..cache import (
     query_fingerprint,
     refinement_seeds,
 )
+from ..parallel.executor import ParallelExecutor
 from ..resilience.guard import SourceGuard
 from ..resilience.policy import ResiliencePolicy
 from .planner import (
@@ -73,7 +74,31 @@ class RegisteredSource:
 
 
 class Mediator:
-    """A model-based mediator over one domain map."""
+    """A model-based mediator over one domain map.
+
+    Args:
+        dm: the :class:`~repro.domainmap.DomainMap` mediated over (a
+            fresh empty one is created when omitted).
+        name: the mediator's name (used in ids and reprs).
+        edge_assertions: which DM edge kinds to compile into
+            assertions (None = the compiler default).
+        dialogue_via_xml: round-trip every source query through the
+            XML wire format (the architecture's "everything in XML").
+        strict: lint every registration and view definition first and
+            reject it (state untouched) on error-severity diagnostics.
+        resilience: the medguard layer — a
+            :class:`~repro.resilience.SourceGuard` or
+            :class:`~repro.resilience.ResiliencePolicy` (None = calls
+            go straight through).
+        cache: the medcache layer — an
+            :class:`~repro.cache.AnswerCache`, a
+            :class:`~repro.cache.CacheStore`, or ``True`` for the
+            default cache (None = nothing is cached).
+        parallel: the medpar layer — a
+            :class:`~repro.parallel.ParallelExecutor`, ``True`` for
+            the default executor, or an int worker count (None/False =
+            sequential plans, today's behavior).
+    """
 
     def __init__(
         self,
@@ -84,6 +109,7 @@ class Mediator:
         strict=False,
         resilience=None,
         cache=None,
+        parallel=None,
     ):
         self.name = name
         self.dm = dm if dm is not None else DomainMap("%s_dm" % name)
@@ -131,6 +157,26 @@ class Mediator:
             # dropping a materialization must reset the assembled
             # engine, or a stale snapshot would keep answering
             self.cache.on_materializations_changed = self._invalidate
+        #: the medpar layer: a
+        #: :class:`~repro.parallel.ParallelExecutor` fanning per-source
+        #: plan work out to a bounded thread pool, or None — in which
+        #: case plans run sequentially exactly as before (one is-None
+        #: check per plan step)
+        if parallel is None or parallel is False:
+            self.parallel = None
+        elif isinstance(parallel, ParallelExecutor):
+            self.parallel = parallel
+        elif parallel is True:
+            self.parallel = ParallelExecutor(name="%s-medpar" % name)
+        elif isinstance(parallel, int):
+            self.parallel = ParallelExecutor(
+                max_workers=parallel, name="%s-medpar" % name
+            )
+        else:
+            raise MediatorError(
+                "parallel must be a ParallelExecutor, True, or a worker "
+                "count, not %r" % type(parallel).__name__
+            )
         self._safety_checked = False
         self._sources: Dict[str, RegisteredSource] = {}
         self._views: Dict[str, object] = {}
@@ -222,8 +268,9 @@ class Mediator:
         return registration
 
     def deregister(self, source_name):
-        """Remove a source (anchors included).  Previously loaded facts
-        are rebuilt from the remaining sources."""
+        """Remove the source named `source_name` (anchors included).
+        Previously loaded facts are rebuilt from the remaining
+        sources."""
         if source_name not in self._sources:
             raise RegistrationError("source %r is not registered" % source_name)
         if self.cache is not None:
@@ -241,15 +288,20 @@ class Mediator:
         self._invalidate()
 
     def wrapper(self, source_name):
+        """The registered :class:`~repro.sources.Wrapper` named
+        `source_name` (raises for unknown sources)."""
         record = self._sources.get(source_name)
         if record is None:
             raise MediatorError("unknown source %r" % source_name)
         return record.wrapper
 
     def source_names(self):
+        """Sorted names of the registered sources."""
         return sorted(self._sources)
 
     def capabilities(self, source_name):
+        """The ``class -> QueryCapability`` map the source named
+        `source_name` registered with."""
         record = self._sources.get(source_name)
         if record is None:
             raise MediatorError("unknown source %r" % source_name)
@@ -261,7 +313,9 @@ class Mediator:
         return list(self._wire_log)
 
     def source_query(self, source_name, source_query):
-        """Send a query to a source, honouring `dialogue_via_xml`.
+        """Send `source_query` (a :class:`~repro.sources.SourceQuery`)
+        to the source named `source_name`, honouring
+        `dialogue_via_xml`.
 
         With the XML dialogue on, the request and answer cross the wire
         format of :mod:`repro.xmlio.messages` (and are logged); rows
@@ -318,6 +372,7 @@ class Mediator:
                     if source_query.projection is not None
                     else None,
                 ),
+                executor=self.parallel,
             )
             outcome = guard.last_outcome()
             fresh = outcome is None or not outcome.stale
@@ -414,12 +469,14 @@ class Mediator:
         return {view.name}
 
     def view(self, name):
+        """The view registered under `name` (raises when unknown)."""
         view = self._views.get(name)
         if view is None:
             raise MediatorError("unknown view %r" % name)
         return view
 
     def view_names(self):
+        """Sorted names of the defined views."""
         return sorted(self._views)
 
     # -- knowledge base ----------------------------------------------------
@@ -537,8 +594,8 @@ class Mediator:
         return self.engine().evaluate()
 
     def evaluate_with(self, extra_facts, include_data=True):
-        """Evaluate with additional (lazily fetched) facts, without
-        mutating the mediator's knowledge base.
+        """Evaluate with the additional (lazily fetched) `extra_facts`,
+        without mutating the mediator's knowledge base.
 
         ``include_data=False`` evaluates the extra facts against the
         knowledge only (domain map + schemas + views), ignoring any
@@ -568,14 +625,15 @@ class Mediator:
         return engine.evaluate(check_safety=False)
 
     def ask(self, fl_query):
-        """Answer an F-logic query over the mediated knowledge base."""
+        """Answer the F-logic query text `fl_query` over the mediated
+        knowledge base; returns the list of answer substitutions."""
         with obs.span("mediator.ask", query=fl_query) as span:
             answers = self.engine().ask(fl_query)
             span.set(answers=len(answers))
             return answers
 
     def ask_lazy(self, fl_query):
-        """Answer a query by fetching only the source data it
+        """Answer `fl_query` by fetching only the source data it
         references (navigation-driven evaluation; see
         :mod:`repro.core.lazy`).  Returns (answers, fetches)."""
         from .lazy import ask_lazy
@@ -583,10 +641,13 @@ class Mediator:
         return ask_lazy(self, fl_query)
 
     def holds(self, fl_query):
+        """Does `fl_query` have at least one answer?"""
         return bool(self.ask(fl_query))
 
     def explain(self, target, skip_failed_sources=False):
-        """EXPLAIN a query, or a fact's derivation.
+        """EXPLAIN `target` — a query, or a fact's derivation — with
+        retrieval failures degrading instead of aborting under
+        `skip_failed_sources`.
 
         * Given a :class:`CorrelationQuery`, plans *and runs* it under
           a private tracer and returns a
@@ -604,7 +665,9 @@ class Mediator:
         return self.engine().explain(target)
 
     def check_integrity(self, constraints=(), raise_on_violation=False):
-        """Two-phase integrity check over the mediated object base."""
+        """Two-phase integrity check of the given `constraints` over
+        the mediated object base; with `raise_on_violation` the first
+        violation raises instead of being reported."""
         return gcm_check(
             self.assembled_rules(),
             constraints,
@@ -614,9 +677,9 @@ class Mediator:
     # -- source selection --------------------------------------------------
 
     def select_sources(self, concepts, target_class=None):
-        """Sources with data anchored at any of the concepts (step 2 of
-        the Section 5 plan), optionally filtered to exporters of a
-        class."""
+        """Sources with data anchored at any of the `concepts` (step 2
+        of the Section 5 plan), optionally filtered to exporters of
+        `target_class`."""
         sources = self.index.sources_for_any(concepts)
         if target_class is not None:
             sources = [
@@ -639,7 +702,20 @@ class Mediator:
         func="sum",
         store=None,
     ):
-        """Run the recursive aggregate over the mediated object base."""
+        """Run the recursive aggregate over the mediated object base.
+
+        Args:
+            root: DM concept the distribution is rooted at.
+            value_attr: attribute carrying the aggregated value.
+            group_attr / group_value: optional grouping attribute and
+                the group to aggregate (e.g. one protein).
+            filters: extra attribute -> value filters on the
+                aggregated objects.
+            role: DM relation traversed downward from the root.
+            func: the aggregate function name (e.g. ``sum``).
+            store: an evaluated fact store to aggregate over (the
+                mediator's own evaluation when omitted).
+        """
         if store is None:
             store = self.evaluate().store
         return aggregate_over_dm(
@@ -657,8 +733,11 @@ class Mediator:
     def materialize_distribution(
         self, view_name, group_value, root, filters=None, extra=None
     ):
-        """Materialize one instance of a :class:`DistributionView` into
-        the knowledge base; returns the :class:`Distribution`."""
+        """Materialize one instance of the :class:`DistributionView`
+        named `view_name` — the distribution of `group_value` rooted at
+        `root`, optionally narrowed by `filters` — into the knowledge
+        base, attaching any `extra` facts; returns the
+        :class:`Distribution`."""
         view = self.view(view_name)
         if not isinstance(view, DistributionView):
             raise MediatorError("%r is not a distribution view" % view_name)
@@ -680,7 +759,8 @@ class Mediator:
     # -- materialized views (medcache) ----------------------------------------
 
     def materialize(self, view_or_name):
-        """Materialize an :class:`IntegratedView`: evaluate it once
+        """Materialize an :class:`IntegratedView` (`view_or_name`
+        names one, or is the view itself): evaluate it once
         over the current knowledge base and serve later ``ask``/
         ``correlate`` evaluations from the snapshot (the view's rules
         are swapped out of :meth:`assembled_rules` while the
@@ -726,11 +806,12 @@ class Mediator:
     # -- planned queries -----------------------------------------------------
 
     def plan(self, query):
-        """Plan a :class:`CorrelationQuery` without executing it."""
+        """Plan the :class:`CorrelationQuery` `query` without
+        executing it."""
         return planner_plan(self, query)
 
     def correlate(self, query, skip_failed_sources=False):
-        """Plan and execute a correlation query; returns a
+        """Plan and execute the correlation `query`; returns a
         :class:`~repro.core.planner.CorrelationResult` — a ``(plan,
         context)`` pair that also surfaces degradation directly
         (``result.degraded``, ``result.degraded_answer()``).

@@ -23,6 +23,7 @@ covers raises :class:`~repro.errors.PlanningError` at *planning* time.
 
 from __future__ import annotations
 
+import threading
 from contextlib import nullcontext
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -30,6 +31,7 @@ from .. import obs
 from ..cache.fingerprint import plan_fingerprint
 from ..errors import CapabilityError, PlanningError
 from ..domainmap.graphops import lub
+from ..parallel.executor import SingleFlight
 from ..sources.wrapper import SourceQuery
 from .aggregate import aggregate_over_dm
 
@@ -184,14 +186,40 @@ class RetrieveAnchoredStep(PlanStep):
     def run(self, context):
         from ..errors import SourceError, XMLTransportError
 
+        sources = list(context.selected_sources)
+        executor = context.parallel
+        if executor is None or len(sources) <= 1:
+            collected = []
+            for source in sources:
+                try:
+                    collected.extend(self._retrieve_from(context, source))
+                except (SourceError, XMLTransportError) as exc:
+                    if not context.degrades_on_failure:
+                        raise
+                    context.record_skipped(source, exc)
+            context.retrieved = collected
+            return collected
+
+        # medpar fan-out: one task per selected source, merged back in
+        # source-name order (sources arrive sorted from step 2), so the
+        # answer — and every trace built from it — is independent of
+        # which worker finished first
+        outcomes = executor.map_ordered(
+            sources,
+            lambda source: self._retrieve_from(context, source),
+            kind="retrieve",
+        )
         collected = []
-        for source in context.selected_sources:
-            try:
-                collected.extend(self._retrieve_from(context, source))
-            except (SourceError, XMLTransportError) as exc:
-                if not context.degrades_on_failure:
-                    raise
-                context.record_skipped(source, exc)
+        for source, outcome in zip(sources, outcomes):
+            if outcome.ok:
+                collected.extend(outcome.value)
+                continue
+            exc = outcome.error
+            if not isinstance(exc, (SourceError, XMLTransportError)):
+                raise exc
+            if not context.degrades_on_failure:
+                raise exc
+            context.record_skipped(source, exc)
         context.retrieved = collected
         return collected
 
@@ -322,6 +350,12 @@ class PlanContext:
         #: planning probe and the plan run, so identical calls inside
         #: one correlate() execute once (even with no cache configured)
         self.call_memo: Dict = {} if call_memo is None else call_memo
+        #: the mediator's medpar executor (None = sequential plans)
+        self.parallel = getattr(mediator, "parallel", None)
+        self._memo_lock = threading.Lock()
+        # coalesces concurrent identical source calls under fan-out:
+        # N workers asking the same (source, query) make one wire call
+        self._single_flight = SingleFlight()
         guard = mediator.resilience
         #: slice of the guard's outcome log belonging to this plan
         self._outcome_mark = (
@@ -336,23 +370,42 @@ class PlanContext:
         A repeat of an already-answered call (same source, class,
         selections, projection) is served from the memo without
         touching the mediator — recorded as a ``cache.dedup`` event on
-        the active plan step and the ``cache.dedup`` counter.  Only
-        successful calls are memoized; failures propagate and are
-        retried per attempt as before.
+        the active plan step and the ``cache.dedup`` counter.  Under
+        medpar fan-out, *concurrent* identical calls are coalesced
+        onto one in-flight wire call (the waiters additionally count
+        ``fanout.coalesced``).  Only successful calls are memoized;
+        failures propagate and are retried per attempt as before.
         """
         key = plan_fingerprint(source, source_query)
         memo = self.call_memo
-        if key in memo:  # empty row lists are valid answers
-            obs.event(
-                "cache.dedup",
-                source=source,
-                class_name=source_query.class_name,
-            )
-            obs.count("cache.dedup", source=source)
-            return list(memo[key])
-        rows = self.mediator.source_query(source, source_query)
-        memo[key] = rows
-        return rows
+        with self._memo_lock:
+            hit = key in memo  # empty row lists are valid answers
+            if hit:
+                rows = memo[key]
+        if hit:
+            self._record_dedup(source, source_query.class_name)
+            return list(rows)
+
+        def fetch():
+            rows = self.mediator.source_query(source, source_query)
+            with self._memo_lock:
+                memo[key] = rows
+            return rows
+
+        if self.parallel is None:
+            return fetch()
+
+        def coalesced():
+            self._record_dedup(source, source_query.class_name)
+            obs.count("fanout.coalesced", source=source)
+
+        return list(
+            self._single_flight.run(key, fetch, on_coalesced=coalesced)
+        )
+
+    def _record_dedup(self, source, class_name):
+        obs.event("cache.dedup", source=source, class_name=class_name)
+        obs.count("cache.dedup", source=source)
 
     @property
     def degrades_on_failure(self):

@@ -19,17 +19,23 @@ JSON schema documented in ``docs/observability.md``.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple
 
 
 class Metrics:
-    """Labelled counters and gauges with deterministic export order."""
+    """Labelled counters and gauges with deterministic export order.
 
-    __slots__ = ("_counters", "_gauges")
+    Thread-safe: medpar workers bump counters concurrently, and the
+    read-modify-write of an increment would lose updates unlocked.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_lock")
 
     def __init__(self):
         self._counters: Dict[Tuple, float] = {}
         self._gauges: Dict[Tuple, float] = {}
+        self._lock = threading.Lock()
 
     @staticmethod
     def _key(name, labels):
@@ -38,11 +44,13 @@ class Metrics:
     def count(self, name, value=1, **labels):
         """Add `value` to a (labelled) counter."""
         key = self._key(name, labels)
-        self._counters[key] = self._counters.get(key, 0) + value
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
 
     def gauge(self, name, value, **labels):
         """Set a (labelled) gauge to its latest value."""
-        self._gauges[self._key(name, labels)] = value
+        with self._lock:
+            self._gauges[self._key(name, labels)] = value
 
     def counter_value(self, name, **labels):
         return self._counters.get(self._key(name, labels), 0)
@@ -72,9 +80,13 @@ class Metrics:
     def merge(self, other):
         """Fold another registry into this one (counters add, gauges
         take the other's value)."""
-        for key, value in other._counters.items():
-            self._counters[key] = self._counters.get(key, 0) + value
-        self._gauges.update(other._gauges)
+        with other._lock:
+            counters = dict(other._counters)
+            gauges = dict(other._gauges)
+        with self._lock:
+            for key, value in counters.items():
+                self._counters[key] = self._counters.get(key, 0) + value
+            self._gauges.update(gauges)
         return self
 
     def as_dict(self):

@@ -14,6 +14,8 @@ are rendered by :mod:`repro.obs.render`.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
@@ -156,7 +158,16 @@ class Tracer:
         self.name = name
         self.roots: List[Span] = []
         self.metrics = Metrics()
-        self._stack: List[Span] = []
+        # one span stack per thread: medpar workers open spans
+        # concurrently, and a shared stack would interleave parents
+        self._stacks = threading.local()
+
+    @property
+    def _stack(self):
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = self._stacks.stack = []
+        return stack
 
     # -- span stack --------------------------------------------------------
 
@@ -181,6 +192,30 @@ class Tracer:
     def current(self):
         """The innermost open span (or the shared no-op span)."""
         return self._stack[-1] if self._stack else NOOP_SPAN
+
+    @contextmanager
+    def adopt(self, parent):
+        """Adopt `parent` — a span captured on another thread — as this
+        thread's current span for the block.
+
+        The medpar executor captures the submitting thread's
+        :attr:`current` at fan-out and wraps each worker task in
+        ``adopt``, so spans a worker opens nest under the plan step
+        that fanned it out instead of starting a foreign root.
+        Adopting ``None`` or the no-op span is a no-op.
+        """
+        if parent is None or parent is NOOP_SPAN:
+            yield
+            return
+        stack = self._stack
+        stack.append(parent)
+        try:
+            yield
+        finally:
+            if stack and stack[-1] is parent:
+                stack.pop()
+            elif parent in stack:  # tolerate out-of-order exits
+                stack.remove(parent)
 
     def event(self, name, **attrs):
         """Record an event on the current span (dropped at top level)."""
@@ -229,6 +264,10 @@ class _NoopTracer:
 
     def span(self, name, **attrs):
         return NOOP_SPAN
+
+    @contextmanager
+    def adopt(self, parent):
+        yield
 
     def event(self, name, **attrs):
         pass

@@ -1,0 +1,122 @@
+"""Synthetic slow-source deployments for exercising medpar.
+
+:class:`SlowWrapper` is a latency facade over any
+:class:`~repro.sources.Wrapper`: the data plane (``query`` /
+``run_template``) sleeps a fixed delay before delegating, while the
+control plane (schema export, capabilities, anchors) passes through
+untouched — the profile of a federation of remote labs where every
+retrieval pays a network round trip.
+
+:func:`build_fanout_deployment` assembles the benchmark deployment:
+one fast seed source (SENSELAB) plus N renamed NCMIR clones behind
+slow facades, all exporting ``protein_amount`` anchored at the same
+concepts.  The Section-5-style correlation query then retrieves from
+all N clones in step 3, so its wall-clock time is ``sum`` of the
+per-source latencies sequentially and ``max`` under medpar fan-out —
+exactly the ratio ``benchmarks/test_bench_perf_parallel.py`` measures.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.mediator import Mediator
+from ..core.planner import CorrelationQuery
+from ..neuro.anatom import build_anatom
+from ..neuro.ncmir import build_ncmir
+from ..neuro.senselab import build_senselab
+
+#: per-query latency of a slow clone (seconds) — large enough that the
+#: fan-out win dominates scheduling noise, small enough for CI
+DEFAULT_DELAY = 0.02
+
+
+class SlowWrapper:
+    """A wrapper facade that stalls every data-plane call.
+
+    Args:
+        inner: the real :class:`~repro.sources.Wrapper` underneath.
+        delay: seconds slept (wall clock) before each ``query`` /
+            ``run_template`` delegates.
+        sleep: the sleeper (injectable for tests; ``time.sleep`` by
+            default).
+    """
+
+    def __init__(self, inner, delay=DEFAULT_DELAY, sleep=None):
+        self.inner = inner
+        self.delay = delay
+        self._sleep = sleep if sleep is not None else time.sleep
+
+    # -- delegation (control plane untouched) ------------------------------
+
+    @property
+    def name(self):
+        return self.inner.name
+
+    @property
+    def unwrapped(self):
+        """The real wrapper underneath (for in-process shortcuts)."""
+        return self.inner.unwrapped
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+    # -- the slow data plane ----------------------------------------------
+
+    def query(self, source_query):
+        self._sleep(self.delay)
+        return self.inner.query(source_query)
+
+    def run_template(self, class_name, template_name, **arguments):
+        self._sleep(self.delay)
+        return self.inner.run_template(class_name, template_name, **arguments)
+
+    def __repr__(self):
+        return "SlowWrapper(%r, delay=%.3fs)" % (self.name, self.delay)
+
+
+def build_fanout_deployment(
+    sources=4, delay=DEFAULT_DELAY, seed=2001, parallel=False
+):
+    """A deployment whose retrieval step fans out over N slow sources.
+
+    Args:
+        sources: number of slow ``protein_amount`` exporters (NCMIR
+            clones renamed ``SLOW0`` .. ``SLOW<n-1>``).
+        delay: per-query latency of each slow source (seconds).
+        seed: RNG seed for the synthetic source data (clone *i* uses
+            ``seed + i``, so the clones hold different rows).
+        parallel: the medpar configuration handed to
+            :class:`~repro.core.Mediator` (False = sequential).
+
+    Returns:
+        ``(mediator, query)`` — run ``mediator.correlate(query)``.
+    """
+    mediator = Mediator(build_anatom(), name="fanout", parallel=parallel)
+    mediator.register(build_senselab(seed), eager=False, via_xml=False)
+    for i in range(sources):
+        clone = build_ncmir(seed + i)
+        # a Wrapper's name is a plain attribute, and object ids embed
+        # it, so renamed clones register as distinct sources with
+        # distinct objects
+        clone.name = "SLOW%d" % i
+        mediator.register(
+            SlowWrapper(clone, delay=delay), eager=False, via_xml=False
+        )
+    query = CorrelationQuery(
+        seed_class="neurotransmission",
+        seed_selections={
+            "organism": "rat",
+            "transmitting_compartment": "parallel fiber",
+        },
+        anchor_attrs=("receiving_neuron", "receiving_compartment"),
+        target_class="protein_amount",
+        target_anchor_attr="location",
+        target_filters={"ion_bound": "calcium", "organism": "rat"},
+        group_attr="protein_name",
+        value_attr="amount",
+        role="has",
+        func="sum",
+        seed_source="SENSELAB",
+    )
+    return mediator, query

@@ -17,6 +17,7 @@ fully deterministic under the fault harness's virtual clock.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple
 
 CLOSED = "closed"
@@ -25,9 +26,17 @@ HALF_OPEN = "half-open"
 
 
 class CircuitBreaker:
-    """Consecutive-failure breaker for one ``(source, class)`` pair."""
+    """Consecutive-failure breaker for one ``(source, class)`` pair.
 
-    __slots__ = ("threshold", "cooldown", "failures", "_state", "opened_at")
+    State transitions are guarded by a lock: under medpar fan-out,
+    concurrent calls to one source record successes and failures from
+    several worker threads, and an unlocked failure streak could both
+    lose counts and double-fire the "opened" edge.
+    """
+
+    __slots__ = (
+        "threshold", "cooldown", "failures", "_state", "opened_at", "_lock",
+    )
 
     def __init__(self, threshold, cooldown):
         self.threshold = threshold
@@ -35,48 +44,53 @@ class CircuitBreaker:
         self.failures = 0
         self._state = CLOSED
         self.opened_at: Optional[float] = None
+        self._lock = threading.Lock()
 
     def state(self, now=None):
         """Current state; an open breaker past its cooldown reports
         half-open (the next call is the probe)."""
-        if (
-            self._state == OPEN
-            and now is not None
-            and self.opened_at is not None
-            and now - self.opened_at >= self.cooldown
-        ):
-            return HALF_OPEN
-        return self._state
+        with self._lock:
+            if (
+                self._state == OPEN
+                and now is not None
+                and self.opened_at is not None
+                and now - self.opened_at >= self.cooldown
+            ):
+                return HALF_OPEN
+            return self._state
 
     def allow(self, now):
         """May a call proceed now?  Transitions open -> half-open when
         the cooldown has elapsed."""
-        if self._state == CLOSED:
-            return True
-        if self._state == OPEN:
-            if now - self.opened_at >= self.cooldown:
-                self._state = HALF_OPEN
+        with self._lock:
+            if self._state == CLOSED:
                 return True
-            return False
-        # half-open: the probe call is in flight; its outcome decides
-        return True
+            if self._state == OPEN:
+                if now - self.opened_at >= self.cooldown:
+                    self._state = HALF_OPEN
+                    return True
+                return False
+            # half-open: the probe call is in flight; its outcome decides
+            return True
 
     def record_success(self):
-        self.failures = 0
-        self._state = CLOSED
-        self.opened_at = None
+        with self._lock:
+            self.failures = 0
+            self._state = CLOSED
+            self.opened_at = None
 
     def record_failure(self, now):
         """Count one failure; returns True when this failure opened
         (or re-opened) the breaker."""
-        self.failures += 1
-        if self._state == HALF_OPEN or (
-            self.threshold is not None and self.failures >= self.threshold
-        ):
-            self._state = OPEN
-            self.opened_at = now
-            return True
-        return False
+        with self._lock:
+            self.failures += 1
+            if self._state == HALF_OPEN or (
+                self.threshold is not None and self.failures >= self.threshold
+            ):
+                self._state = OPEN
+                self.opened_at = now
+                return True
+            return False
 
     def __repr__(self):
         return "CircuitBreaker(%s, failures=%d)" % (self._state, self.failures)
@@ -85,20 +99,24 @@ class CircuitBreaker:
 class BreakerRegistry:
     """The breakers of one guard, keyed by ``(source, class)``."""
 
-    __slots__ = ("threshold", "cooldown", "_breakers")
+    __slots__ = ("threshold", "cooldown", "_breakers", "_lock")
 
     def __init__(self, threshold, cooldown):
         self.threshold = threshold
         self.cooldown = cooldown
         self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        self._lock = threading.Lock()
 
     def get(self, source, class_name):
+        # locked get-or-create: two medpar workers racing the first
+        # call of a pair must share one breaker, not shadow each other
         key = (source, class_name)
-        breaker = self._breakers.get(key)
-        if breaker is None:
-            breaker = CircuitBreaker(self.threshold, self.cooldown)
-            self._breakers[key] = breaker
-        return breaker
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(self.threshold, self.cooldown)
+                self._breakers[key] = breaker
+            return breaker
 
     def states(self, now=None):
         """Deterministic ``(source, class) -> state`` snapshot."""

@@ -187,9 +187,17 @@ def _scenario_schedule(seed):
     return schedule
 
 
-def run_chaos_scenario(seed, max_retries=2):
+def run_chaos_scenario(seed, max_retries=2, parallel=False):
     """Run the Section 5 scenario under the seeded fault schedule and
-    check the degraded-answer contract; returns a :class:`ChaosReport`."""
+    check the degraded-answer contract; returns a :class:`ChaosReport`.
+
+    With `parallel`, the plan runs under a medpar executor
+    (``Mediator(parallel=...)``).  The report must stay byte-identical
+    to the sequential run of the same `seed`: the fault schedule is
+    positional, jitter streams are per ``(source, class)``, the merge
+    is source-ordered, and — since the policy runs on the virtual
+    clock — the executor's wall-clock timeout stays out of play.
+    """
     from ..neuro import build_scenario, section5_query
 
     clock = VirtualClock()
@@ -206,7 +214,9 @@ def run_chaos_scenario(seed, max_retries=2):
     )
     schedule = _scenario_schedule(seed)
 
-    scenario = build_scenario(eager=False, include_anatom_source=True)
+    scenario = build_scenario(
+        eager=False, include_anatom_source=True, parallel=parallel or None
+    )
     mediator = scenario.mediator
     mediator.dialogue_via_xml = True  # exercise the full XML wire path
     mediator.resilience = SourceGuard(policy)
@@ -298,6 +308,9 @@ def run_chaos_scenario(seed, max_retries=2):
     for record in mediator._sources.values():
         for kind, count in record.wrapper.injected_counts().items():
             injected[kind] = injected.get(kind, 0) + count
+
+    if mediator.parallel is not None:
+        mediator.parallel.shutdown()
 
     return ChaosReport(
         "scenario",

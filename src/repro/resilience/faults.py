@@ -32,6 +32,7 @@ reproducible.
 from __future__ import annotations
 
 import random
+import threading
 from typing import Dict, List, Optional, Tuple
 
 from .. import obs
@@ -56,24 +57,32 @@ MALFORMED_VARIANTS = ("truncated-doc", "wrong-root", "bad-count")
 
 
 class VirtualClock:
-    """A deterministic clock: time only moves when told to."""
+    """A deterministic clock: time only moves when told to.
 
-    __slots__ = ("_now", "slept")
+    Mutations are locked: under medpar fan-out several workers may
+    sleep on or advance the shared clock, and the float accumulations
+    are read-modify-write.
+    """
+
+    __slots__ = ("_now", "slept", "_lock")
 
     def __init__(self, start=0.0):
         self._now = float(start)
         #: total seconds spent in :meth:`sleep` (backoff accounting)
         self.slept = 0.0
+        self._lock = threading.Lock()
 
     def now(self):
         return self._now
 
     def sleep(self, seconds):
-        self._now += seconds
-        self.slept += seconds
+        with self._lock:
+            self._now += seconds
+            self.slept += seconds
 
     def advance(self, seconds):
-        self._now += seconds
+        with self._lock:
+            self._now += seconds
 
     def __repr__(self):
         return "VirtualClock(%.3f)" % self._now
@@ -250,6 +259,10 @@ class FaultInjectingWrapper:
         #: (call index, fault) pairs actually injected, in order
         self.injected: List[Tuple[int, Fault]] = []
         self._mangle_next: Optional[Fault] = None
+        # call-index assignment must be atomic: concurrent medpar
+        # workers racing `calls += 1` would replay or skip schedule
+        # slots
+        self._lock = threading.Lock()
 
     # -- delegation --------------------------------------------------------
 
@@ -279,8 +292,9 @@ class FaultInjectingWrapper:
         )
 
     def _faulted_call(self, fn):
-        self.calls += 1
-        call = self.calls
+        with self._lock:
+            self.calls += 1
+            call = self.calls
         truncate = None
         for fault in self.schedule.faults_for(self.name, call):
             self.injected.append((call, fault))

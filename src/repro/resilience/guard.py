@@ -23,8 +23,9 @@ counters and events) when a tracer is installed.
 from __future__ import annotations
 
 import random
+import threading
 from contextlib import contextmanager
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import obs
 from ..errors import (
@@ -111,10 +112,35 @@ class SourceGuard:
             self.policy.breaker_threshold, self.policy.breaker_cooldown
         )
         self.outcomes: List[CallOutcome] = []
-        self._rng = random.Random(self.policy.seed)
+        #: per-``(source, class)`` jitter streams: a single shared RNG
+        #: would make jitter draws depend on the *interleaving* of
+        #: concurrent calls under medpar fan-out; independent streams
+        #: (string-seeded, stable across runs and platforms) keep the
+        #: backoff sequence of every pair deterministic regardless of
+        #: scheduling
+        self._rngs: Dict[Tuple[str, str], random.Random] = {}
         self._cache = {}
+        self._lock = threading.Lock()
+        #: optional :class:`~repro.parallel.ParallelExecutor` enforcing
+        #: ``call_timeout`` as a true wall-clock bound (set by the
+        #: mediator, or per call via the ``executor`` argument)
+        self.executor = None
         self._scope_depth = 0
         self._deadline_at: Optional[float] = None
+
+    def _jitter_rng(self, source, class_name):
+        key = (source, class_name)
+        with self._lock:
+            rng = self._rngs.get(key)
+            if rng is None:
+                # str seeding hashes via sha512: deterministic across
+                # runs, processes and platforms (same idiom as
+                # FaultSchedule.from_seed)
+                rng = random.Random(
+                    "%s/%s/%s" % (self.policy.seed, source, class_name)
+                )
+                self._rngs[key] = rng
+            return rng
 
     # -- plan deadline scope ----------------------------------------------
 
@@ -163,8 +189,24 @@ class SourceGuard:
 
     # -- the guarded call --------------------------------------------------
 
-    def call(self, source, class_name, fn, cache_key=None):
+    def call(self, source, class_name, fn, cache_key=None, executor=None):
         """Run ``fn()`` (one source call) under the policy.
+
+        Args:
+            source: source name (breaker / outcome / metric key).
+            class_name: exported class being called.
+            fn: zero-argument callable performing the source call.
+            cache_key: hashable identity of the call for the
+                ``serve_stale`` last-known-good cache (None disables
+                staleness for this call).
+            executor: optional
+                :class:`~repro.parallel.ParallelExecutor` overriding
+                :attr:`self.executor` for this call.  When one is set,
+                the policy has a ``call_timeout``, and the policy runs
+                on the real wall clock, each attempt is run through
+                :meth:`~repro.parallel.ParallelExecutor.call` so the
+                timeout truly abandons a hung attempt instead of only
+                measuring it after the fact.
 
         Returns `fn`'s result — possibly a cached stale one.  Raises
         the last failure (normalized by the caller's boundary) when
@@ -173,6 +215,16 @@ class SourceGuard:
         rejects the call outright.
         """
         policy = self.policy
+        if executor is None:
+            executor = self.executor
+        # wall-clock enforcement only under the real clock: a virtual
+        # clock (chaos harness) keeps the deterministic measured-
+        # elapsed check below
+        enforce = (
+            executor is not None
+            and policy.call_timeout is not None
+            and policy.wall_clock
+        )
         breaker = self.breakers.get(source, class_name)
         now = policy.clock()
         if not breaker.allow(now):
@@ -205,9 +257,14 @@ class SourceGuard:
             attempts += 1
             started = policy.clock()
             try:
-                result = fn()
+                if enforce:
+                    result = executor.call(fn, timeout=policy.call_timeout)
+                else:
+                    result = fn()
             except (SourceError, XMLTransportError) as exc:
                 last_exc = exc
+                if isinstance(exc, SourceTimeoutError):
+                    obs.count("resilience.timeout", source=source)
             else:
                 elapsed = policy.clock() - started
                 if (
@@ -222,7 +279,10 @@ class SourceGuard:
                 else:
                     breaker.record_success()
                     if policy.serve_stale and cache_key is not None:
-                        self._cache[(source, class_name, cache_key)] = result
+                        with self._lock:
+                            self._cache[
+                                (source, class_name, cache_key)
+                            ] = result
                     self._record(
                         CallOutcome(
                             source,
@@ -244,7 +304,9 @@ class SourceGuard:
                 )
             if attempts > policy.max_retries or not self._may_retry():
                 break
-            delay = policy.backoff_delay(attempts, self._rng)
+            delay = policy.backoff_delay(
+                attempts, self._jitter_rng(source, class_name)
+            )
             remaining = self.deadline_remaining()
             if remaining is not None:
                 delay = min(delay, max(0.0, remaining))
@@ -294,7 +356,8 @@ class SourceGuard:
     ):
         if not self.policy.serve_stale or cache_key is None:
             return None
-        cached = self._cache.get((source, class_name, cache_key))
+        with self._lock:
+            cached = self._cache.get((source, class_name, cache_key))
         if cached is None:
             return None
         obs.count("resilience.stale_served", source=source)

@@ -116,6 +116,19 @@ class ResiliencePolicy:
         self.clock = clock if clock is not None else time.monotonic
         self.sleep = sleep if sleep is not None else time.sleep
 
+    @property
+    def wall_clock(self):
+        """Is this policy timed by the real monotonic clock?
+
+        True only for the default ``time.monotonic`` clock.  The
+        medpar executor enforces ``call_timeout`` as a true wall-clock
+        bound (abandoning the hung attempt) only then: under an
+        injected virtual clock — the chaos harness — time is
+        simulation state, so the guard keeps its deterministic
+        measured-elapsed check instead.
+        """
+        return self.clock is time.monotonic
+
     def backoff_delay(self, retry_number, rng=None):
         """The backoff before retry `retry_number` (1-based), jittered
         from `rng` when the policy asks for jitter."""

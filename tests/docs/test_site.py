@@ -1,0 +1,63 @@
+"""Structural checks over the documentation site.
+
+The docs are a linked site, not a pile of files: ``docs/index.md``
+must route to every doc, every relative markdown link must resolve,
+and every doc must link back to the index.  Drift fails CI here.
+"""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+DOCS = ROOT / "docs"
+
+#: [text](target) links, excluding images and absolute URLs
+LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)#\s]+)(#[^)\s]*)?\)")
+
+
+def md_files():
+    return sorted(DOCS.glob("*.md")) + [ROOT / "README.md"]
+
+
+def links_of(path):
+    for match in LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+
+
+def test_relative_links_resolve():
+    broken = []
+    for path in md_files():
+        for target in links_of(path):
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                broken.append("%s -> %s" % (path.relative_to(ROOT), target))
+    assert not broken, "broken doc links:\n  " + "\n  ".join(broken)
+
+
+def test_index_routes_every_doc():
+    index = (DOCS / "index.md").read_text()
+    missing = [
+        doc.name
+        for doc in sorted(DOCS.glob("*.md"))
+        if doc.name != "index.md" and "(%s)" % doc.name not in index
+    ]
+    assert not missing, "docs/index.md does not link: %s" % missing
+
+
+def test_every_doc_links_back_to_index():
+    missing = [
+        doc.name
+        for doc in sorted(DOCS.glob("*.md"))
+        if doc.name != "index.md" and "(index.md)" not in doc.read_text()
+    ]
+    assert not missing, "docs missing an index.md backlink: %s" % missing
+
+
+def test_readme_links_the_docs_site():
+    readme = (ROOT / "README.md").read_text()
+    assert "docs/index.md" in readme, (
+        "README must point readers at the docs site (docs/index.md)"
+    )

@@ -63,7 +63,7 @@ class TestErrorHierarchy:
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_subpackages_importable(self):
         import repro.core
